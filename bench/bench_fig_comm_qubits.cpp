@@ -1,0 +1,50 @@
+// Figs. 10–13: mean job completion time vs number of communication qubits
+// per QPU (5–10) for qugan_n111, qft_n160, multiplier_n75 and qv_n100,
+// under the four scheduling strategies.
+#include <memory>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace cloudqc;
+  bench::print_header("JCT vs communication qubits per QPU",
+                      "Figs. 10-13 (4 representative circuits)");
+
+  const char* kCircuits[] = {"qugan_n111", "qft_n160", "multiplier_n75",
+                             "qv_n100"};
+  const int runs = bench::runs_per_point(5, 20);
+
+  std::vector<std::unique_ptr<CommAllocator>> allocators;
+  allocators.push_back(make_greedy_allocator());
+  allocators.push_back(make_average_allocator());
+  allocators.push_back(make_random_allocator());
+  allocators.push_back(make_cloudqc_allocator());
+
+  for (const char* name : kCircuits) {
+    const Circuit c = make_workload(name);
+    std::printf("--- %s ---\n", name);
+    TextTable table({"# comm qubits", "Greedy", "Average", "Random",
+                     "CloudQC"});
+    for (int comm = 5; comm <= 10; ++comm) {
+      QuantumCloud cloud = bench::default_cloud(1, 20, comm);
+      Rng place_rng(11);
+      const auto placement =
+          make_cloudqc_placer()->place(c, cloud, place_rng);
+      if (!placement.has_value()) continue;
+      std::vector<std::string> row{std::to_string(comm)};
+      for (const auto& alloc : allocators) {
+        Rng rng(99);
+        row.push_back(fmt_double(
+            mean_completion_time(c, *placement, cloud, *alloc, runs, rng),
+            0));
+      }
+      table.add_row(std::move(row));
+    }
+    bench::print_table(table);
+    std::printf("\n");
+  }
+  std::printf(
+      "expected shape (paper): JCT falls with more communication qubits; "
+      "CloudQC lowest\non complex circuits; Greedy highest.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Table III: number of remote operations of single-circuit placement for
+// all 21 workloads under SA, Random, GA, CloudQC-BFS and CloudQC, on the
+// default 20-QPU cloud.
+#include <memory>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace cloudqc;
+  // Metric per Sec. VI-B: the communication cost Σ_ij D_ij · C_{π(i)π(j)}
+  // with C = hop distance (the table's values exceed raw 2q-gate counts, so
+  // the paper's "remote operations" are distance-weighted).
+  bench::print_header("Single-circuit placement",
+                      "Table III (communication cost per method)");
+
+  // Meta-heuristic effort scales with the bench scale (the paper notes SA
+  // and GA run for >1 hour; we keep the quick profile snappy).
+  const int sa_iters = bench::runs_per_point(4000, 40000);
+  const int ga_pop = bench::runs_per_point(24, 60);
+  const int ga_gens = bench::runs_per_point(40, 200);
+
+  std::vector<std::unique_ptr<Placer>> placers;
+  placers.push_back(make_annealing_placer(sa_iters));
+  placers.push_back(make_random_placer());
+  placers.push_back(make_genetic_placer(ga_pop, ga_gens));
+  placers.push_back(make_cloudqc_bfs_placer());
+  placers.push_back(make_cloudqc_placer());
+
+  TextTable table({"circuit", "SA", "Random", "GA", "CdQC-BFS", "CdQC"});
+  for (const auto& spec : table2_specs()) {
+    const Circuit c = make_workload(spec.name);
+    std::vector<std::string> row{spec.name};
+    for (const auto& placer : placers) {
+      // Fresh identical cloud per method; fixed seeds for reproducibility.
+      QuantumCloud cloud = bench::default_cloud(1);
+      Rng rng(2024);
+      const auto p = placer->place(c, cloud, rng);
+      row.push_back(p.has_value() ? fmt_double(p->comm_cost, 0) : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  bench::print_table(table);
+  std::printf(
+      "\nexpected shape (paper): CdQC lowest on nearly every row; CdQC-BFS "
+      "close on\nsparse circuits (ghz/cat/ising/cc); SA/GA/Random far higher "
+      "on dense circuits.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Robustness sweep: how do placement quality and JCT react to the cloud's
+// topology family (random ER(0.3) — the paper's default — vs ring, grid,
+// star, fully connected)? Not a paper figure; quantifies how much of
+// CloudQC's advantage depends on the random-topology assumption.
+#include "bench_util.hpp"
+#include "graph/topology.hpp"
+
+namespace {
+
+using namespace cloudqc;
+
+QuantumCloud cloud_for(const std::string& topo, std::uint64_t seed) {
+  CloudConfig cfg;  // paper defaults otherwise
+  if (topo == "random") {
+    Rng rng(seed);
+    return QuantumCloud(cfg, rng);
+  }
+  if (topo == "ring") return QuantumCloud(cfg, ring_topology(20));
+  if (topo == "grid") return QuantumCloud(cfg, grid_topology(4, 5));
+  if (topo == "star") return QuantumCloud(cfg, star_topology(20));
+  return QuantumCloud(cfg, complete_topology(20));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Topology sensitivity",
+                      "robustness sweep (not a paper figure)");
+  const int runs = bench::runs_per_point(4, 15);
+  const char* kTopos[] = {"random", "grid", "ring", "star", "full"};
+  const char* kCircuits[] = {"qugan_n111", "knn_n129", "adder_n118"};
+
+  for (const char* name : kCircuits) {
+    const Circuit c = make_workload(name);
+    std::printf("--- %s ---\n", name);
+    TextTable table({"topology", "remote ops", "comm cost", "mean JCT",
+                     "est. fidelity"});
+    for (const char* topo : kTopos) {
+      QuantumCloud cloud = cloud_for(topo, 1);
+      Rng rng(5);
+      const auto p = make_cloudqc_placer()->place(c, cloud, rng);
+      if (!p.has_value()) {
+        table.add_row({topo, "-", "-", "-", "-"});
+        continue;
+      }
+      const auto alloc = make_cloudqc_allocator();
+      double jct = 0.0, fid = 0.0;
+      Rng run_rng(99);
+      for (int r = 0; r < runs; ++r) {
+        const auto res = run_schedule(c, *p, cloud, *alloc, run_rng);
+        jct += res.completion_time;
+        fid += res.est_fidelity;
+      }
+      table.add_row({topo, std::to_string(p->remote_ops),
+                     fmt_double(p->comm_cost, 0), fmt_double(jct / runs, 0),
+                     fmt_double(fid / runs, 4)});
+    }
+    bench::print_table(table);
+    std::printf("\n");
+  }
+  std::printf(
+      "reading: denser topologies (full/random) shorten hop distances and "
+      "JCT; the\nstar topology funnels every inter-QPU pair through the hub "
+      "(distance 2, heavy\ncontention); community detection matters most on "
+      "sparse structured topologies.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared helpers for the experiment harnesses in bench/. Each binary
+// regenerates one table or figure of the paper (see DESIGN.md). Run sizes
+// default to a quick configuration; CLOUDQC_BENCH_SCALE=full switches to
+// paper-scale repetition counts.
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "common/csv.hpp"
+#include "common/env.hpp"
+#include "core/cloudqc.hpp"
+
+namespace cloudqc::bench {
+
+/// The paper's default cloud drawn from `seed`: 20 QPUs, 20 computing + 5
+/// communication qubits, ER(0.3) topology, EPR success probability 0.3.
+inline QuantumCloud default_cloud(std::uint64_t seed,
+                                  int computing_per_qpu = 20,
+                                  int comm_per_qpu = 5,
+                                  double epr_prob = 0.3) {
+  CloudConfig cfg;
+  cfg.computing_qubits_per_qpu = computing_per_qpu;
+  cfg.comm_qubits_per_qpu = comm_per_qpu;
+  cfg.epr_success_prob = epr_prob;
+  Rng rng(seed);
+  return QuantumCloud(cfg, rng);
+}
+
+/// Stochastic repetitions per data point (paper averages over many runs).
+inline int runs_per_point(int quick, int full) {
+  return bench_full_scale() ? full : quick;
+}
+
+inline void print_table(const TextTable& table) {
+  std::ostringstream os;
+  table.print(os);
+  std::fputs(os.str().c_str(), stdout);
+}
+
+inline void print_header(const std::string& what, const std::string& paper) {
+  std::printf("=== %s ===\n", what.c_str());
+  std::printf("reproduces: %s\n", paper.c_str());
+  std::printf("scale: %s (set CLOUDQC_BENCH_SCALE=full for paper-scale)\n\n",
+              bench_full_scale() ? "full" : "quick");
+}
+
+}  // namespace cloudqc::bench

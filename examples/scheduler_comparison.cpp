@@ -1,0 +1,58 @@
+// Network-scheduler shoot-out on one placed circuit: CloudQC's
+// priority-weighted allocator vs the Greedy / Average / Random baselines,
+// at several EPR success probabilities (a per-circuit slice of the paper's
+// Figs. 18–21).
+//
+//   ./scheduler_comparison [workload-name] [runs]   (defaults: multiplier_n45, 10)
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "core/cloudqc.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cloudqc;
+  const std::string name = argc > 1 ? argv[1] : "multiplier_n45";
+  const int runs = argc > 2 ? std::atoi(argv[2]) : 10;
+  if (!is_known_workload(name)) {
+    std::printf("unknown workload '%s'\n", name.c_str());
+    return 1;
+  }
+  const Circuit circuit = make_workload(name);
+
+  std::vector<std::unique_ptr<CommAllocator>> allocators;
+  allocators.push_back(make_cloudqc_allocator());
+  allocators.push_back(make_average_allocator());
+  allocators.push_back(make_random_allocator());
+  allocators.push_back(make_greedy_allocator());
+
+  TextTable table({"EPR p", "CloudQC", "Average", "Random", "Greedy"});
+  for (const double p : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+    CloudConfig config;
+    config.epr_success_prob = p;
+    Rng topo_rng(7);
+    QuantumCloud cloud(config, topo_rng);
+    Rng place_rng(1);
+    const auto placement =
+        make_cloudqc_placer()->place(circuit, cloud, place_rng);
+    if (!placement.has_value()) {
+      std::printf("placement failed\n");
+      return 1;
+    }
+    std::vector<std::string> row{fmt_double(p, 1)};
+    for (const auto& alloc : allocators) {
+      Rng rng(99);
+      row.push_back(fmt_double(
+          mean_completion_time(circuit, *placement, cloud, *alloc, runs, rng),
+          1));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("mean JCT of %s over %d runs per cell\n\n", name.c_str(), runs);
+  std::ostringstream os;
+  table.print(os);
+  std::fputs(os.str().c_str(), stdout);
+  return 0;
+}

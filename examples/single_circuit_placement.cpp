@@ -1,0 +1,60 @@
+// Compare all five placement algorithms on one circuit (a single row of the
+// paper's Table III), printing remote-operation counts, communication cost
+// and wall-clock time per algorithm.
+//
+//   ./single_circuit_placement [workload-name]   (default: qugan_n111)
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "core/cloudqc.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cloudqc;
+  const std::string name = argc > 1 ? argv[1] : "qugan_n111";
+  if (!is_known_workload(name)) {
+    std::printf("unknown workload '%s'\n", name.c_str());
+    return 1;
+  }
+
+  CloudConfig config;
+  Rng topo_rng(7);
+  QuantumCloud cloud(config, topo_rng);
+  const Circuit circuit = make_workload(name);
+  std::printf("placing %s (%d qubits, %zu two-qubit gates) on %d QPUs\n\n",
+              circuit.name().c_str(), circuit.num_qubits(),
+              circuit.two_qubit_gate_count(), cloud.num_qpus());
+
+  std::vector<std::unique_ptr<Placer>> placers;
+  placers.push_back(make_annealing_placer());
+  placers.push_back(make_random_placer());
+  placers.push_back(make_genetic_placer());
+  placers.push_back(make_cloudqc_bfs_placer());
+  placers.push_back(make_cloudqc_placer());
+
+  TextTable table({"method", "remote ops", "comm cost", "QPUs", "est. time",
+                   "wall ms"});
+  for (const auto& placer : placers) {
+    Rng rng(1234);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto placement = placer->place(circuit, cloud, rng);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (!placement.has_value()) {
+      table.add_row({placer->name(), "-", "-", "-", "-", fmt_double(ms, 1)});
+      continue;
+    }
+    table.add_row({placer->name(), std::to_string(placement->remote_ops),
+                   fmt_double(placement->comm_cost, 0),
+                   std::to_string(placement->num_qpus_used()),
+                   fmt_double(placement->est_time, 1), fmt_double(ms, 1)});
+  }
+  std::ostringstream os;
+  table.print(os);
+  std::fputs(os.str().c_str(), stdout);
+  return 0;
+}

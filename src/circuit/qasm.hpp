@@ -1,0 +1,35 @@
+// OpenQASM 2.0 subset parser — enough to load QASMBench-style circuit files
+// (the paper's workload source) into the Circuit IR. Supported:
+//   * OPENQASM / include headers (ignored)
+//   * qreg / creg declarations (multiple qregs flattened in order)
+//   * standard qelib1 gates with angle expressions (pi, + - * / ^, parens)
+//   * gate broadcast over whole registers (e.g. `h q;`)
+//   * measure (with or without `-> c[i]`), reset, barrier
+//   * custom `gate` definitions are parsed and inlined one level deep
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "circuit/circuit.hpp"
+
+namespace cloudqc {
+
+/// Thrown on malformed input; message carries a line number.
+class QasmError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parse QASM source text. `name` becomes the circuit name.
+Circuit parse_qasm(std::string_view source, std::string name = "qasm");
+
+/// Load and parse a .qasm file. The file's stem becomes the circuit name.
+Circuit parse_qasm_file(const std::string& path);
+
+/// Serialise a circuit back to OpenQASM 2.0 (round-trips everything the
+/// parser accepts; gates map 1:1).
+std::string to_qasm(const Circuit& c);
+
+}  // namespace cloudqc

@@ -1,0 +1,24 @@
+// Operation latency model (Table I of the paper). All durations are in
+// units of one CX-gate time, measured on IBM hardware / multinode
+// experiments per the paper's citations.
+#pragma once
+
+namespace cloudqc {
+
+struct LatencyModel {
+  /// Single-qubit gate.
+  double t_1q = 0.1;
+  /// Two-qubit local gate (CX / CZ) — the time unit.
+  double t_2q = 1.0;
+  /// Measurement.
+  double t_measure = 5.0;
+  /// One EPR-pair generation attempt round.
+  double t_epr = 10.0;
+
+  /// Fixed post-entanglement cost of executing a remote CX via the
+  /// cat-comm / teleportation pipeline: local CX + measurement + classically
+  /// conditioned single-qubit correction.
+  double remote_gate_overhead() const { return t_2q + t_measure + t_1q; }
+};
+
+}  // namespace cloudqc

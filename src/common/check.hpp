@@ -1,0 +1,40 @@
+// Lightweight precondition checking used across the library.
+//
+// CLOUDQC_CHECK is always on (it guards API misuse that would otherwise
+// corrupt a simulation silently); CLOUDQC_DCHECK compiles out in release
+// builds and is used on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cloudqc::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace cloudqc::detail
+
+#define CLOUDQC_CHECK(expr)                                              \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::cloudqc::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define CLOUDQC_CHECK_MSG(expr, msg)                                     \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::cloudqc::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define CLOUDQC_DCHECK(expr) ((void)0)
+#else
+#define CLOUDQC_DCHECK(expr) CLOUDQC_CHECK(expr)
+#endif

@@ -1,0 +1,26 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+namespace cloudqc {
+
+std::string env_or(const std::string& name, const std::string& fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return fallback;
+  return v;
+}
+
+long env_int_or(const std::string& name, long fallback) {
+  const std::string v = env_or(name, "");
+  if (v.empty()) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0') return fallback;
+  return parsed;
+}
+
+bool bench_full_scale() {
+  return env_or("CLOUDQC_BENCH_SCALE", "") == "full";
+}
+
+}  // namespace cloudqc

@@ -1,0 +1,20 @@
+// Environment-variable helpers used by the bench harness to scale run sizes
+// (e.g. CLOUDQC_BENCH_SCALE=full reproduces paper-scale batch counts).
+#pragma once
+
+#include <string>
+
+namespace cloudqc {
+
+/// Value of environment variable `name`, or `fallback` if unset/empty.
+std::string env_or(const std::string& name, const std::string& fallback);
+
+/// Integer value of environment variable `name`, or `fallback` if
+/// unset/empty/non-numeric.
+long env_int_or(const std::string& name, long fallback);
+
+/// True when CLOUDQC_BENCH_SCALE=full — benches then run paper-scale
+/// repetition counts instead of the quick defaults.
+bool bench_full_scale();
+
+}  // namespace cloudqc

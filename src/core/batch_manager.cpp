@@ -1,0 +1,34 @@
+#include "core/batch_manager.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cloudqc {
+
+double job_importance(const Circuit& circuit, const BatchWeights& w) {
+  return w.lambda1 * circuit.two_qubit_density() +
+         w.lambda2 * circuit.num_qubits() + w.lambda3 * circuit.depth();
+}
+
+std::vector<std::size_t> batch_order(const std::vector<Circuit>& jobs,
+                                     const BatchWeights& w) {
+  std::vector<double> importance(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    importance[i] = job_importance(jobs[i], w);
+  }
+  std::vector<std::size_t> order(jobs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return importance[a] > importance[b];
+                   });
+  return order;
+}
+
+std::vector<std::size_t> fifo_order(std::size_t num_jobs) {
+  std::vector<std::size_t> order(num_jobs);
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+}  // namespace cloudqc

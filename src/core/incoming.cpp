@@ -1,0 +1,132 @@
+#include "core/incoming.hpp"
+
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "circuit/workloads.hpp"
+#include "common/check.hpp"
+#include "sim/network_sim.hpp"
+
+namespace cloudqc {
+
+std::vector<IncomingJobStats> run_incoming(const std::vector<ArrivingJob>& jobs,
+                                           QuantumCloud& cloud,
+                                           const Placer& placer,
+                                           const CommAllocator& allocator,
+                                           std::uint64_t seed) {
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].circuit.num_qubits() >
+        cloud.num_qpus() * cloud.config().computing_qubits_per_qpu) {
+      throw std::logic_error("job '" + jobs[i].circuit.name() +
+                             "' exceeds total cloud capacity");
+    }
+    if (i > 0) {
+      CLOUDQC_CHECK_MSG(jobs[i].arrival >= jobs[i - 1].arrival,
+                        "arrival trace must be sorted by time");
+    }
+  }
+
+  Rng rng(seed);
+  NetworkSimulator sim(cloud, allocator, rng.fork());
+  std::vector<IncomingJobStats> stats(jobs.size());
+  std::deque<std::size_t> queue;  // arrived, not yet placed (FIFO)
+  std::size_t next_arrival = 0;
+  std::map<int, std::pair<std::size_t, std::vector<int>>> in_flight;
+
+  auto admit = [&] {
+    for (auto it = queue.begin(); it != queue.end();) {
+      const std::size_t idx = *it;
+      const auto placement = placer.place(jobs[idx].circuit, cloud, rng);
+      if (!placement.has_value()) {
+        ++it;  // keeps its queue position; smaller jobs behind may fit
+        continue;
+      }
+      CLOUDQC_CHECK(cloud.try_reserve(placement->qubits_per_qpu));
+      const int sim_id = sim.add_job(jobs[idx].circuit,
+                                     placement->qubit_to_qpu);
+      in_flight[sim_id] = {idx, placement->qubits_per_qpu};
+      IncomingJobStats& s = stats[idx];
+      s.name = jobs[idx].circuit.name();
+      s.arrival = jobs[idx].arrival;
+      s.placed_time = sim.now();
+      s.remote_ops = placement->remote_ops;
+      s.qpus_used = placement->num_qpus_used();
+      it = queue.erase(it);
+    }
+  };
+
+  while (next_arrival < jobs.size() || !in_flight.empty()) {
+    const SimTime t_arrival = next_arrival < jobs.size()
+                                  ? jobs[next_arrival].arrival
+                                  : std::numeric_limits<SimTime>::infinity();
+    const auto t_event = sim.next_event_time();
+
+    if (!t_event.has_value() || t_arrival <= *t_event) {
+      // Nothing happens before the next arrival: admit it (and any
+      // simultaneous arrivals).
+      if (next_arrival >= jobs.size()) {
+        // No arrivals left and no events — but jobs are still in flight?
+        CLOUDQC_CHECK_MSG(in_flight.empty(),
+                          "in-flight jobs with no scheduled events");
+        break;
+      }
+      sim.advance_time(t_arrival);
+      while (next_arrival < jobs.size() &&
+             jobs[next_arrival].arrival <= sim.now()) {
+        queue.push_back(next_arrival++);
+      }
+      admit();
+      if (sim.next_event_time().has_value() || next_arrival < jobs.size()) {
+        continue;
+      }
+      if (!queue.empty()) {
+        throw std::logic_error(
+            "incoming-mode deadlock: queued jobs cannot be admitted into an "
+            "idle cloud");
+      }
+      break;
+    }
+
+    // Process one simulator event.
+    if (const auto completion = sim.step()) {
+      const auto entry = in_flight.find(completion->job);
+      CLOUDQC_CHECK(entry != in_flight.end());
+      const auto [idx, reservation] = entry->second;
+      stats[idx].completion_time = completion->time;
+      stats[idx].est_fidelity = completion->est_fidelity;
+      cloud.release(reservation);
+      in_flight.erase(entry);
+      admit();
+      if (in_flight.empty() && !queue.empty() &&
+          next_arrival >= jobs.size()) {
+        throw std::logic_error(
+            "incoming-mode deadlock: queued jobs cannot be admitted into an "
+            "idle cloud");
+      }
+    }
+  }
+  CLOUDQC_CHECK(queue.empty());
+  return stats;
+}
+
+std::vector<ArrivingJob> poisson_trace(const std::vector<std::string>& names,
+                                       int num_jobs, double mean_gap,
+                                       Rng& rng) {
+  CLOUDQC_CHECK(!names.empty());
+  CLOUDQC_CHECK(num_jobs >= 0);
+  CLOUDQC_CHECK(mean_gap > 0.0);
+  std::vector<ArrivingJob> trace;
+  trace.reserve(static_cast<std::size_t>(num_jobs));
+  SimTime t = 0.0;
+  for (int i = 0; i < num_jobs; ++i) {
+    // Exponential inter-arrival gap via inverse CDF.
+    t += -mean_gap * std::log1p(-rng.uniform());
+    trace.push_back({make_workload(rng.pick(names)), t});
+  }
+  return trace;
+}
+
+}  // namespace cloudqc

@@ -1,0 +1,53 @@
+// Incoming-job mode (Sec. V-B): jobs arrive over time and CloudQC processes
+// them first-in-first-out — each arrival is placed as soon as resources
+// allow, runs concurrently with already-admitted tenants, and JCT is
+// measured from *arrival* (so queueing delay counts).
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "cloud/cloud.hpp"
+#include "common/rng.hpp"
+#include "core/multi_tenant.hpp"
+#include "placement/placement.hpp"
+#include "schedule/allocators.hpp"
+#include "sim/event_queue.hpp"
+
+namespace cloudqc {
+
+struct ArrivingJob {
+  Circuit circuit;
+  SimTime arrival = 0.0;
+};
+
+struct IncomingJobStats {
+  std::string name;
+  SimTime arrival = 0.0;
+  SimTime placed_time = 0.0;
+  SimTime completion_time = 0.0;
+  /// JCT measured from arrival (queueing + execution).
+  double jct() const { return completion_time - arrival; }
+  std::size_t remote_ops = 0;
+  int qpus_used = 0;
+  /// First-order output-fidelity estimate (see FidelityModel).
+  double est_fidelity = 1.0;
+};
+
+/// Run an arrival trace to completion. Jobs must be sorted by
+/// non-decreasing arrival time. Admission is FIFO with head-of-line
+/// skipping (a job that cannot be placed right now does not block smaller
+/// jobs behind it, but keeps its queue position).
+std::vector<IncomingJobStats> run_incoming(const std::vector<ArrivingJob>& jobs,
+                                           QuantumCloud& cloud,
+                                           const Placer& placer,
+                                           const CommAllocator& allocator,
+                                           std::uint64_t seed = 1);
+
+/// Build a Poisson arrival trace: exponential inter-arrival gaps with the
+/// given mean, circuits drawn uniformly from `names`.
+std::vector<ArrivingJob> poisson_trace(const std::vector<std::string>& names,
+                                       int num_jobs, double mean_gap,
+                                       Rng& rng);
+
+}  // namespace cloudqc

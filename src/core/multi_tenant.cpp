@@ -1,0 +1,83 @@
+#include "core/multi_tenant.hpp"
+
+#include <deque>
+#include <map>
+#include <stdexcept>
+
+#include "common/check.hpp"
+#include "sim/network_sim.hpp"
+
+namespace cloudqc {
+
+std::vector<TenantJobStats> run_batch(const std::vector<Circuit>& jobs,
+                                      QuantumCloud& cloud,
+                                      const Placer& placer,
+                                      const CommAllocator& allocator,
+                                      const MultiTenantOptions& options) {
+  for (const auto& job : jobs) {
+    if (job.num_qubits() > cloud.num_qpus() *
+                               cloud.config().computing_qubits_per_qpu) {
+      throw std::logic_error("job '" + job.name() +
+                             "' exceeds total cloud capacity");
+    }
+  }
+
+  Rng rng(options.seed);
+  const auto order = options.fifo ? fifo_order(jobs.size())
+                                  : batch_order(jobs, options.weights);
+  std::deque<std::size_t> pending(order.begin(), order.end());
+
+  NetworkSimulator sim(cloud, allocator, rng.fork());
+  std::vector<TenantJobStats> stats(jobs.size());
+  // sim job id -> (batch index, computing-qubit reservation to release).
+  std::map<int, std::pair<std::size_t, std::vector<int>>> in_flight;
+
+  auto admit_pending = [&] {
+    // Work-conserving admission: walk the queue in batch order and place
+    // every job the current free resources can host. Skipped jobs stay in
+    // order and are retried at the next completion.
+    for (auto it = pending.begin(); it != pending.end();) {
+      const std::size_t idx = *it;
+      const auto placement = placer.place(jobs[idx], cloud, rng);
+      if (!placement.has_value()) {
+        ++it;
+        continue;
+      }
+      CLOUDQC_CHECK(cloud.try_reserve(placement->qubits_per_qpu));
+      const int sim_id = sim.add_job(jobs[idx], placement->qubit_to_qpu);
+      in_flight[sim_id] = {idx, placement->qubits_per_qpu};
+
+      TenantJobStats& s = stats[idx];
+      s.name = jobs[idx].name();
+      s.placed_time = sim.now();
+      s.remote_ops = placement->remote_ops;
+      s.qpus_used = placement->num_qpus_used();
+      it = pending.erase(it);
+    }
+  };
+
+  admit_pending();
+  while (!in_flight.empty()) {
+    const auto completion = sim.run_until_next_completion();
+    CLOUDQC_CHECK_MSG(completion.has_value(),
+                      "in-flight jobs but simulator has no events");
+    const auto entry = in_flight.find(completion->job);
+    CLOUDQC_CHECK(entry != in_flight.end());
+    const auto [idx, reservation] = entry->second;
+    stats[idx].completion_time = completion->time;
+    stats[idx].est_fidelity = completion->est_fidelity;
+    cloud.release(reservation);
+    in_flight.erase(entry);
+    admit_pending();
+    if (in_flight.empty() && !pending.empty()) {
+      throw std::logic_error(
+          "multi-tenant deadlock: pending jobs cannot be admitted into an "
+          "otherwise idle cloud");
+    }
+  }
+  CLOUDQC_CHECK_MSG(pending.empty(),
+                    "batch finished with unplaced jobs — cloud too small");
+  return stats;
+}
+
+}  // namespace cloudqc

@@ -1,0 +1,51 @@
+// Multi-tenant execution engine: admits a batch of circuits into the cloud
+// in batch-manager order, places each with the configured placer as soon as
+// resources allow, runs all placed jobs concurrently on the shared network
+// simulator, and recycles computing qubits on completion. This is the full
+// CloudQC control loop evaluated in Sec. VI-D.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "cloud/cloud.hpp"
+#include "common/rng.hpp"
+#include "core/batch_manager.hpp"
+#include "placement/placement.hpp"
+#include "schedule/allocators.hpp"
+
+namespace cloudqc {
+
+struct MultiTenantOptions {
+  BatchWeights weights{};
+  /// Use submission order instead of the importance metric
+  /// (CloudQC-FIFO baseline).
+  bool fifo = false;
+  std::uint64_t seed = 1;
+};
+
+/// Per-job outcome of one batch run. Times are simulation time units
+/// (CX-gate durations); the batch arrives at t = 0, so completion_time is
+/// the job completion time (JCT).
+struct TenantJobStats {
+  std::string name;
+  double placed_time = 0.0;
+  double completion_time = 0.0;
+  std::size_t remote_ops = 0;
+  int qpus_used = 0;
+  /// First-order output-fidelity estimate (see FidelityModel).
+  double est_fidelity = 1.0;
+};
+
+/// Run one batch to completion. `cloud` carries the topology/resource
+/// configuration; its computing-qubit reservations are restored to their
+/// initial state before returning. Jobs that can never fit the cloud
+/// (more qubits than total capacity) throw std::logic_error.
+std::vector<TenantJobStats> run_batch(const std::vector<Circuit>& jobs,
+                                      QuantumCloud& cloud,
+                                      const Placer& placer,
+                                      const CommAllocator& allocator,
+                                      const MultiTenantOptions& options = {});
+
+}  // namespace cloudqc

@@ -1,0 +1,186 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/check.hpp"
+
+namespace cloudqc {
+
+std::vector<int> bfs_distances(const Graph& g, NodeId src) {
+  CLOUDQC_CHECK(src >= 0 && src < g.num_nodes());
+  std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()), -1);
+  std::queue<NodeId> q;
+  dist[static_cast<std::size_t>(src)] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (const auto& e : g.neighbors(u)) {
+      if (dist[static_cast<std::size_t>(e.to)] < 0) {
+        dist[static_cast<std::size_t>(e.to)] =
+            dist[static_cast<std::size_t>(u)] + 1;
+        q.push(e.to);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<NodeId> bfs_order(const Graph& g, NodeId src) {
+  CLOUDQC_CHECK(src >= 0 && src < g.num_nodes());
+  std::vector<char> seen(static_cast<std::size_t>(g.num_nodes()), 0);
+  std::vector<NodeId> order;
+  std::queue<NodeId> q;
+  seen[static_cast<std::size_t>(src)] = 1;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    order.push_back(u);
+    for (const auto& e : g.neighbors(u)) {
+      if (!seen[static_cast<std::size_t>(e.to)]) {
+        seen[static_cast<std::size_t>(e.to)] = 1;
+        q.push(e.to);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<double> dijkstra(const Graph& g, NodeId src) {
+  CLOUDQC_CHECK(src >= 0 && src < g.num_nodes());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(static_cast<std::size_t>(g.num_nodes()), kInf);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[static_cast<std::size_t>(src)] = 0.0;
+  pq.push({0.0, src});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    for (const auto& e : g.neighbors(u)) {
+      CLOUDQC_DCHECK(e.weight >= 0.0);
+      const double nd = d + e.weight;
+      if (nd < dist[static_cast<std::size_t>(e.to)]) {
+        dist[static_cast<std::size_t>(e.to)] = nd;
+        pq.push({nd, e.to});
+      }
+    }
+  }
+  return dist;
+}
+
+HopDistanceMatrix::HopDistanceMatrix(const Graph& g)
+    : n_(static_cast<std::size_t>(g.num_nodes())) {
+  dist_.resize(n_ * n_);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto row = bfs_distances(g, u);
+    std::copy(row.begin(), row.end(),
+              dist_.begin() + static_cast<std::ptrdiff_t>(
+                                  static_cast<std::size_t>(u) * n_));
+  }
+}
+
+std::vector<int> connected_components(const Graph& g) {
+  std::vector<int> label(static_cast<std::size_t>(g.num_nodes()), -1);
+  int next = 0;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (label[static_cast<std::size_t>(s)] >= 0) continue;
+    const int id = next++;
+    std::queue<NodeId> q;
+    label[static_cast<std::size_t>(s)] = id;
+    q.push(s);
+    while (!q.empty()) {
+      const NodeId u = q.front();
+      q.pop();
+      for (const auto& e : g.neighbors(u)) {
+        if (label[static_cast<std::size_t>(e.to)] < 0) {
+          label[static_cast<std::size_t>(e.to)] = id;
+          q.push(e.to);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+NodeId graph_center(const Graph& g) {
+  if (g.num_nodes() == 0) return kInvalidNode;
+  std::vector<NodeId> all(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId i = 0; i < g.num_nodes(); ++i)
+    all[static_cast<std::size_t>(i)] = i;
+  return graph_center_of(g, all);
+}
+
+NodeId graph_center_of(const Graph& g, const std::vector<NodeId>& subset) {
+  if (subset.empty()) return kInvalidNode;
+  if (subset.size() == 1) return subset.front();
+
+  std::vector<NodeId> map;
+  const Graph sub = induced_subgraph(g, subset, &map);
+
+  // Work per component of the induced subgraph; pick the center of the
+  // largest component so disconnected subsets still yield a useful anchor.
+  const auto comp = connected_components(sub);
+  int num_comp = 0;
+  for (int c : comp) num_comp = std::max(num_comp, c + 1);
+  std::vector<int> comp_size(static_cast<std::size_t>(num_comp), 0);
+  for (int c : comp) ++comp_size[static_cast<std::size_t>(c)];
+  const int big = static_cast<int>(
+      std::max_element(comp_size.begin(), comp_size.end()) -
+      comp_size.begin());
+
+  NodeId best = kInvalidNode;
+  int best_ecc = std::numeric_limits<int>::max();
+  double best_deg = -1.0;
+  for (NodeId u = 0; u < sub.num_nodes(); ++u) {
+    if (comp[static_cast<std::size_t>(u)] != big) continue;
+    const auto dist = bfs_distances(sub, u);
+    int ecc = 0;
+    for (NodeId v = 0; v < sub.num_nodes(); ++v) {
+      if (comp[static_cast<std::size_t>(v)] == big) {
+        ecc = std::max(ecc, dist[static_cast<std::size_t>(v)]);
+      }
+    }
+    const double deg = sub.weighted_degree(u);
+    if (ecc < best_ecc || (ecc == best_ecc && deg > best_deg)) {
+      best_ecc = ecc;
+      best_deg = deg;
+      best = u;
+    }
+  }
+  CLOUDQC_CHECK(best != kInvalidNode);
+  return map[static_cast<std::size_t>(best)];
+}
+
+Graph induced_subgraph(const Graph& g, const std::vector<NodeId>& subset,
+                       std::vector<NodeId>* out_map) {
+  std::vector<NodeId> to_new(static_cast<std::size_t>(g.num_nodes()),
+                             kInvalidNode);
+  Graph sub(static_cast<NodeId>(subset.size()));
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    const NodeId u = subset[i];
+    CLOUDQC_CHECK(u >= 0 && u < g.num_nodes());
+    CLOUDQC_CHECK_MSG(to_new[static_cast<std::size_t>(u)] == kInvalidNode,
+                      "duplicate node in subset");
+    to_new[static_cast<std::size_t>(u)] = static_cast<NodeId>(i);
+    sub.set_node_weight(static_cast<NodeId>(i), g.node_weight(u));
+  }
+  for (const NodeId u : subset) {
+    for (const auto& e : g.neighbors(u)) {
+      const NodeId nu = to_new[static_cast<std::size_t>(u)];
+      const NodeId nv = to_new[static_cast<std::size_t>(e.to)];
+      if (nv == kInvalidNode) continue;
+      if (e.to > u || (e.to == u)) {  // each undirected edge once
+        sub.add_edge(nu, nv, e.weight);
+      }
+    }
+  }
+  if (out_map != nullptr) *out_map = subset;
+  return sub;
+}
+
+}  // namespace cloudqc

@@ -1,0 +1,74 @@
+#include "graph/topology.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "graph/algorithms.hpp"
+
+namespace cloudqc {
+
+Graph random_topology(NodeId n, double edge_prob, Rng& rng) {
+  CLOUDQC_CHECK(n > 0);
+  CLOUDQC_CHECK(edge_prob >= 0.0 && edge_prob <= 1.0);
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.chance(edge_prob)) g.add_edge(u, v);
+    }
+  }
+  // Stitch disconnected components together so every QPU is reachable.
+  auto comp = connected_components(g);
+  while (true) {
+    int num_comp = 0;
+    for (int c : comp) num_comp = std::max(num_comp, c + 1);
+    if (num_comp <= 1) break;
+    // Attach one random node of component 1 to one random node of comp 0.
+    std::vector<NodeId> a, b;
+    for (NodeId u = 0; u < n; ++u) {
+      if (comp[static_cast<std::size_t>(u)] == 0) a.push_back(u);
+      if (comp[static_cast<std::size_t>(u)] == 1) b.push_back(u);
+    }
+    g.add_edge(rng.pick(a), rng.pick(b));
+    comp = connected_components(g);
+  }
+  return g;
+}
+
+Graph grid_topology(NodeId rows, NodeId cols) {
+  CLOUDQC_CHECK(rows > 0 && cols > 0);
+  Graph g(rows * cols);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph ring_topology(NodeId n) {
+  CLOUDQC_CHECK(n > 0);
+  Graph g(n);
+  for (NodeId u = 0; u + 1 < n; ++u) g.add_edge(u, u + 1);
+  if (n >= 3) g.add_edge(n - 1, 0);
+  return g;
+}
+
+Graph star_topology(NodeId n) {
+  CLOUDQC_CHECK(n > 0);
+  Graph g(n);
+  for (NodeId u = 1; u < n; ++u) g.add_edge(0, u);
+  return g;
+}
+
+Graph complete_topology(NodeId n) {
+  CLOUDQC_CHECK(n > 0);
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+}  // namespace cloudqc

@@ -1,0 +1,28 @@
+// QPU-network topology generators. The paper's default is an Erdős–Rényi
+// random topology over 20 QPUs with edge probability 0.3; grid / ring / star
+// variants are provided for robustness experiments.
+#pragma once
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace cloudqc {
+
+/// Erdős–Rényi G(n, p), patched to be connected: after sampling, every
+/// stranded component is attached to the main component with one random
+/// edge (the paper assumes the quantum cloud is one network).
+Graph random_topology(NodeId n, double edge_prob, Rng& rng);
+
+/// rows x cols 2-D mesh.
+Graph grid_topology(NodeId rows, NodeId cols);
+
+/// n-node cycle (n >= 3); for n in {1, 2} degenerates to path.
+Graph ring_topology(NodeId n);
+
+/// One hub (node 0) connected to n-1 leaves.
+Graph star_topology(NodeId n);
+
+/// Complete graph on n nodes.
+Graph complete_topology(NodeId n);
+
+}  // namespace cloudqc

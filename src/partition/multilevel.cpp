@@ -1,0 +1,285 @@
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "partition/internal.hpp"
+#include "partition/partitioner.hpp"
+
+namespace cloudqc {
+namespace {
+
+/// One level of the multilevel hierarchy.
+struct Level {
+  Graph graph;
+  /// fine node -> coarse node (into the *next* level's graph).
+  std::vector<NodeId> to_coarse;
+};
+
+/// Heavy-edge matching: visit nodes in random order; match each unmatched
+/// node with its unmatched neighbor of maximum edge weight. Returns
+/// fine->coarse map and the number of coarse nodes.
+std::pair<std::vector<NodeId>, NodeId> heavy_edge_matching(const Graph& g,
+                                                           Rng& rng) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<NodeId> match(n, kInvalidNode);
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  for (const NodeId u : order) {
+    if (match[static_cast<std::size_t>(u)] != kInvalidNode) continue;
+    NodeId best = kInvalidNode;
+    double best_w = -1.0;
+    for (const auto& e : g.neighbors(u)) {
+      if (e.to == u) continue;
+      if (match[static_cast<std::size_t>(e.to)] != kInvalidNode) continue;
+      if (e.weight > best_w) {
+        best_w = e.weight;
+        best = e.to;
+      }
+    }
+    if (best == kInvalidNode) {
+      match[static_cast<std::size_t>(u)] = u;  // stays alone
+    } else {
+      match[static_cast<std::size_t>(u)] = best;
+      match[static_cast<std::size_t>(best)] = u;
+    }
+  }
+
+  std::vector<NodeId> to_coarse(n, kInvalidNode);
+  NodeId next = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (to_coarse[static_cast<std::size_t>(u)] != kInvalidNode) continue;
+    const NodeId m = match[static_cast<std::size_t>(u)];
+    to_coarse[static_cast<std::size_t>(u)] = next;
+    if (m != u) to_coarse[static_cast<std::size_t>(m)] = next;
+    ++next;
+  }
+  return {std::move(to_coarse), next};
+}
+
+/// Contract `g` along the fine->coarse map.
+Graph contract(const Graph& g, const std::vector<NodeId>& to_coarse,
+               NodeId coarse_n) {
+  Graph c(coarse_n);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const NodeId cu = to_coarse[static_cast<std::size_t>(u)];
+    c.set_node_weight(cu, c.node_weight(cu) + g.node_weight(u));
+  }
+  // New nodes default to weight 1; subtract that initial value once.
+  for (NodeId cu = 0; cu < coarse_n; ++cu) {
+    c.set_node_weight(cu, c.node_weight(cu) - 1.0);
+  }
+  for (const auto& e : g.edges()) {
+    const NodeId cu = to_coarse[static_cast<std::size_t>(e.u)];
+    const NodeId cv = to_coarse[static_cast<std::size_t>(e.v)];
+    if (cu != cv) c.add_edge(cu, cv, e.weight);
+  }
+  return c;
+}
+
+/// Greedy region growing: grow k regions from random seeds, always expanding
+/// the lightest region across its heaviest frontier edge. Unreached nodes
+/// (disconnected graphs) are swept into the lightest parts at the end.
+std::vector<int> grow_initial_partition(const Graph& g, int k, Rng& rng,
+                                        const std::vector<double>& target) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<int> part(n, -1);
+  std::vector<double> weight(static_cast<std::size_t>(k), 0.0);
+
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  // Seeds: first k nodes of the shuffled order.
+  std::vector<std::vector<NodeId>> frontier(static_cast<std::size_t>(k));
+  int seeded = 0;
+  for (const NodeId u : order) {
+    if (seeded == k) break;
+    part[static_cast<std::size_t>(u)] = seeded;
+    weight[static_cast<std::size_t>(seeded)] += g.node_weight(u);
+    frontier[static_cast<std::size_t>(seeded)].push_back(u);
+    ++seeded;
+  }
+
+  // Round-robin by lightest region.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Pick the region with the lowest weight/target ratio that still has a
+    // frontier.
+    int best_r = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < k; ++r) {
+      if (frontier[static_cast<std::size_t>(r)].empty()) continue;
+      const double ratio =
+          weight[static_cast<std::size_t>(r)] / target[static_cast<std::size_t>(r)];
+      if (ratio < best_ratio) {
+        best_ratio = ratio;
+        best_r = r;
+      }
+    }
+    if (best_r < 0) break;
+    auto& fr = frontier[static_cast<std::size_t>(best_r)];
+    // Expand across the heaviest edge out of this region's frontier.
+    NodeId pick = kInvalidNode;
+    double pick_w = -1.0;
+    for (std::size_t i = 0; i < fr.size(); ++i) {
+      bool live = false;
+      for (const auto& e : g.neighbors(fr[i])) {
+        if (part[static_cast<std::size_t>(e.to)] == -1) {
+          live = true;
+          if (e.weight > pick_w) {
+            pick_w = e.weight;
+            pick = e.to;
+          }
+        }
+      }
+      if (!live) {
+        // Exhausted frontier node; drop it.
+        std::swap(fr[i], fr.back());
+        fr.pop_back();
+        --i;
+      }
+    }
+    if (pick == kInvalidNode) {
+      fr.clear();
+      progress = true;  // other regions may still expand
+      continue;
+    }
+    part[static_cast<std::size_t>(pick)] = best_r;
+    weight[static_cast<std::size_t>(best_r)] += g.node_weight(pick);
+    fr.push_back(pick);
+    progress = true;
+  }
+
+  // Disconnected leftovers: assign to the lightest part.
+  for (const NodeId u : order) {
+    if (part[static_cast<std::size_t>(u)] != -1) continue;
+    const int r = static_cast<int>(
+        std::min_element(weight.begin(), weight.end()) - weight.begin());
+    part[static_cast<std::size_t>(u)] = r;
+    weight[static_cast<std::size_t>(r)] += g.node_weight(u);
+  }
+  return part;
+}
+
+/// Project a coarse partition back to the finer level.
+std::vector<int> project(const std::vector<int>& coarse_part,
+                         const std::vector<NodeId>& to_coarse) {
+  std::vector<int> fine(to_coarse.size());
+  for (std::size_t u = 0; u < to_coarse.size(); ++u) {
+    fine[u] = coarse_part[static_cast<std::size_t>(to_coarse[u])];
+  }
+  return fine;
+}
+
+}  // namespace
+
+double edge_cut(const Graph& g, const std::vector<int>& part) {
+  CLOUDQC_CHECK(part.size() == static_cast<std::size_t>(g.num_nodes()));
+  double cut = 0.0;
+  for (const auto& e : g.edges()) {
+    if (part[static_cast<std::size_t>(e.u)] !=
+        part[static_cast<std::size_t>(e.v)]) {
+      cut += e.weight;
+    }
+  }
+  return cut;
+}
+
+std::vector<double> part_weights(const Graph& g, const std::vector<int>& part,
+                                 int min_parts) {
+  int k = min_parts;
+  for (int p : part) k = std::max(k, p + 1);
+  std::vector<double> w(static_cast<std::size_t>(k), 0.0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    w[static_cast<std::size_t>(part[static_cast<std::size_t>(u)])] +=
+        g.node_weight(u);
+  }
+  return w;
+}
+
+PartitionResult partition_graph(const Graph& g, const PartitionOptions& opt) {
+  CLOUDQC_CHECK(opt.num_parts >= 1);
+  CLOUDQC_CHECK(opt.imbalance >= 0.0);
+  const int k = opt.num_parts;
+  Rng rng(opt.seed);
+
+  PartitionResult out;
+  out.num_parts = k;
+  if (g.num_nodes() == 0) {
+    out.part_weights.assign(static_cast<std::size_t>(k), 0.0);
+    return out;
+  }
+  if (k == 1) {
+    out.part.assign(static_cast<std::size_t>(g.num_nodes()), 0);
+    out.edge_cut = 0.0;
+    out.part_weights = part_weights(g, out.part, k);
+    return out;
+  }
+
+  const double total = g.total_node_weight();
+  std::vector<double> target(static_cast<std::size_t>(k), total / k);
+  // Balance ceiling per level: the ε bound, but never tighter than what a
+  // single node of that level's granularity makes achievable (METIS-style
+  // adaptive bound — coarse nodes are heavy, so the ceiling loosens there
+  // and tightens as we uncoarsen).
+  auto ceiling_for = [&](const Graph& level) {
+    double max_node = 0.0;
+    for (NodeId u = 0; u < level.num_nodes(); ++u) {
+      max_node = std::max(max_node, level.node_weight(u));
+    }
+    return std::max((1.0 + opt.imbalance) * total / k, total / k + max_node);
+  };
+
+  // --- 1. Coarsening ---------------------------------------------------
+  std::vector<Level> levels;
+  levels.push_back({g, {}});
+  const NodeId coarse_goal =
+      std::max<NodeId>(static_cast<NodeId>(4 * k), 24);
+  while (levels.back().graph.num_nodes() > coarse_goal) {
+    auto [to_coarse, cn] = heavy_edge_matching(levels.back().graph, rng);
+    // Matching stagnated (e.g. graph with no edges): stop coarsening.
+    if (cn >= levels.back().graph.num_nodes()) break;
+    Graph coarse = contract(levels.back().graph, to_coarse, cn);
+    levels.back().to_coarse = std::move(to_coarse);
+    levels.push_back({std::move(coarse), {}});
+  }
+
+  // --- 2. Initial partition at the coarsest level ----------------------
+  const Graph& coarsest = levels.back().graph;
+  std::vector<int> part;
+  double best_cut = std::numeric_limits<double>::infinity();
+  // A few random restarts; keep the best refined result.
+  constexpr int kRestarts = 4;
+  for (int t = 0; t < kRestarts; ++t) {
+    auto cand = grow_initial_partition(coarsest, k, rng, target);
+    internal::refine_partition(coarsest, cand, k, ceiling_for(coarsest),
+                               opt.refine_passes, rng);
+    internal::repair_empty_parts(coarsest, cand, k);
+    const double cut = edge_cut(coarsest, cand);
+    if (cut < best_cut) {
+      best_cut = cut;
+      part = std::move(cand);
+    }
+  }
+
+  // --- 3. Uncoarsen + refine -------------------------------------------
+  for (std::size_t lvl = levels.size() - 1; lvl-- > 0;) {
+    part = project(part, levels[lvl].to_coarse);
+    internal::refine_partition(levels[lvl].graph, part, k,
+                               ceiling_for(levels[lvl].graph),
+                               opt.refine_passes, rng);
+    internal::repair_empty_parts(levels[lvl].graph, part, k);
+  }
+
+  out.part = std::move(part);
+  out.edge_cut = edge_cut(g, out.part);
+  out.part_weights = part_weights(g, out.part, k);
+  return out;
+}
+
+}  // namespace cloudqc

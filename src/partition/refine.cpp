@@ -1,0 +1,114 @@
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/check.hpp"
+#include "partition/internal.hpp"
+#include "partition/partitioner.hpp"
+
+namespace cloudqc::internal {
+namespace {
+
+/// Connectivity of node u to each part (sum of edge weights).
+void part_connectivity(const Graph& g, const std::vector<int>& part, NodeId u,
+                       int k, std::vector<double>& conn) {
+  conn.assign(static_cast<std::size_t>(k), 0.0);
+  for (const auto& e : g.neighbors(u)) {
+    if (e.to == u) continue;
+    conn[static_cast<std::size_t>(part[static_cast<std::size_t>(e.to)])] +=
+        e.weight;
+  }
+}
+
+}  // namespace
+
+void refine_partition(const Graph& g, std::vector<int>& part, int k,
+                      double max_part_weight, int passes, Rng& rng) {
+  CLOUDQC_CHECK(part.size() == static_cast<std::size_t>(g.num_nodes()));
+  if (k <= 1 || g.num_nodes() == 0) return;
+
+  std::vector<double> weight = part_weights(g, part, k);
+  std::vector<NodeId> order(static_cast<std::size_t>(g.num_nodes()));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> conn;
+
+  for (int pass = 0; pass < passes; ++pass) {
+    rng.shuffle(order);
+    bool moved = false;
+    for (const NodeId u : order) {
+      const int from = part[static_cast<std::size_t>(u)];
+      part_connectivity(g, part, u, k, conn);
+      const double internal = conn[static_cast<std::size_t>(from)];
+      const double wu = g.node_weight(u);
+
+      // When `from` is over the balance ceiling, any move into a part with
+      // room is admissible (even cut-worsening); otherwise only boundary
+      // moves with room are considered and only positive gain is accepted.
+      const bool overweight =
+          weight[static_cast<std::size_t>(from)] > max_part_weight;
+      int best_to = -1;
+      double best_gain = -std::numeric_limits<double>::infinity();
+      for (int to = 0; to < k; ++to) {
+        if (to == from) continue;
+        if (weight[static_cast<std::size_t>(to)] + wu > max_part_weight) {
+          continue;
+        }
+        if (conn[static_cast<std::size_t>(to)] == 0.0 && !overweight) continue;
+        const double gain = conn[static_cast<std::size_t>(to)] - internal;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_to = to;
+        }
+      }
+      if (best_to >= 0 && (best_gain > 0.0 || overweight)) {
+        part[static_cast<std::size_t>(u)] = best_to;
+        weight[static_cast<std::size_t>(from)] -= wu;
+        weight[static_cast<std::size_t>(best_to)] += wu;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+}
+
+void repair_empty_parts(const Graph& g, std::vector<int>& part, int k) {
+  if (g.num_nodes() < static_cast<NodeId>(k)) return;
+  std::vector<double> weight = part_weights(g, part, k);
+  std::vector<int> count(static_cast<std::size_t>(k), 0);
+  for (int p : part) ++count[static_cast<std::size_t>(p)];
+
+  for (int empty = 0; empty < k; ++empty) {
+    if (count[static_cast<std::size_t>(empty)] > 0) continue;
+    // Donor: the part with the most nodes.
+    const int donor = static_cast<int>(
+        std::max_element(count.begin(), count.end()) - count.begin());
+    CLOUDQC_CHECK(count[static_cast<std::size_t>(donor)] >= 2);
+    // Pick the donor node with the least connectivity into its own part so
+    // the cut increase is minimal.
+    NodeId pick = kInvalidNode;
+    double pick_conn = std::numeric_limits<double>::infinity();
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (part[static_cast<std::size_t>(u)] != donor) continue;
+      double c = 0.0;
+      for (const auto& e : g.neighbors(u)) {
+        if (e.to != u &&
+            part[static_cast<std::size_t>(e.to)] == donor) {
+          c += e.weight;
+        }
+      }
+      if (c < pick_conn) {
+        pick_conn = c;
+        pick = u;
+      }
+    }
+    CLOUDQC_CHECK(pick != kInvalidNode);
+    part[static_cast<std::size_t>(pick)] = empty;
+    --count[static_cast<std::size_t>(donor)];
+    ++count[static_cast<std::size_t>(empty)];
+    weight[static_cast<std::size_t>(donor)] -= g.node_weight(pick);
+    weight[static_cast<std::size_t>(empty)] += g.node_weight(pick);
+  }
+}
+
+}  // namespace cloudqc::internal

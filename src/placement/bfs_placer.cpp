@@ -1,0 +1,35 @@
+// QPU-set selection for the CloudQC-BFS baseline: breadth-first expansion
+// over the cloud topology instead of community detection. The rest of the
+// CloudQC-BFS pipeline (partitioning, Algorithm 2 mapping, scoring) is
+// shared with CloudQC — see cloudqc_placer.cpp.
+#include "graph/algorithms.hpp"
+#include "placement/detail.hpp"
+
+namespace cloudqc::detail {
+
+std::optional<std::vector<QpuId>> select_qpus_by_bfs(const QuantumCloud& cloud,
+                                                     int needed_qubits,
+                                                     int min_qpus) {
+  if (cloud.total_free_computing() < needed_qubits) return std::nullopt;
+  // Seed at the QPU with the most free computing qubits.
+  QpuId seed = 0;
+  for (QpuId q = 1; q < cloud.num_qpus(); ++q) {
+    if (cloud.qpu(q).free_computing() > cloud.qpu(seed).free_computing()) {
+      seed = q;
+    }
+  }
+  std::vector<QpuId> selected;
+  int have = 0;
+  for (const QpuId q : bfs_order(cloud.topology(), seed)) {
+    if (cloud.qpu(q).free_computing() == 0) continue;
+    selected.push_back(q);
+    have += cloud.qpu(q).free_computing();
+    if (have >= needed_qubits &&
+        static_cast<int>(selected.size()) >= min_qpus) {
+      return selected;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace cloudqc::detail

@@ -1,0 +1,125 @@
+#include "placement/cost.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.hpp"
+
+namespace cloudqc {
+
+int Placement::num_qpus_used() const {
+  std::set<QpuId> used(qubit_to_qpu.begin(), qubit_to_qpu.end());
+  return static_cast<int>(used.size());
+}
+
+double placement_comm_cost(const Circuit& circuit, const QuantumCloud& cloud,
+                           const std::vector<QpuId>& qubit_to_qpu) {
+  CLOUDQC_CHECK(qubit_to_qpu.size() ==
+                static_cast<std::size_t>(circuit.num_qubits()));
+  double cost = 0.0;
+  for (const auto& g : circuit.gates()) {
+    if (!g.two_qubit()) continue;
+    const QpuId a = qubit_to_qpu[static_cast<std::size_t>(g.qubits[0])];
+    const QpuId b = qubit_to_qpu[static_cast<std::size_t>(g.qubits[1])];
+    if (a != b) cost += cloud.distance(a, b);
+  }
+  return cost;
+}
+
+std::size_t placement_remote_ops(const Circuit& circuit,
+                                 const std::vector<QpuId>& qubit_to_qpu) {
+  std::size_t remote = 0;
+  for (const auto& g : circuit.gates()) {
+    if (!g.two_qubit()) continue;
+    if (qubit_to_qpu[static_cast<std::size_t>(g.qubits[0])] !=
+        qubit_to_qpu[static_cast<std::size_t>(g.qubits[1])]) {
+      ++remote;
+    }
+  }
+  return remote;
+}
+
+std::vector<std::size_t> remote_ops_per_qpu(
+    const Circuit& circuit, const std::vector<QpuId>& qubit_to_qpu,
+    int num_qpus) {
+  std::vector<std::size_t> count(static_cast<std::size_t>(num_qpus), 0);
+  for (const auto& g : circuit.gates()) {
+    if (!g.two_qubit()) continue;
+    const QpuId a = qubit_to_qpu[static_cast<std::size_t>(g.qubits[0])];
+    const QpuId b = qubit_to_qpu[static_cast<std::size_t>(g.qubits[1])];
+    if (a == b) continue;
+    ++count[static_cast<std::size_t>(a)];
+    ++count[static_cast<std::size_t>(b)];
+  }
+  return count;
+}
+
+double estimate_execution_time(const Circuit& circuit, const CircuitDag& dag,
+                               const QuantumCloud& cloud,
+                               const std::vector<QpuId>& qubit_to_qpu) {
+  const LatencyModel& lat = cloud.config().latency;
+  const EprModel epr(cloud.config().epr_success_prob);
+  std::vector<double> node_cost(circuit.num_gates());
+  for (std::size_t i = 0; i < circuit.num_gates(); ++i) {
+    const Gate& g = circuit.gates()[i];
+    if (g.kind == GateKind::kMeasure) {
+      node_cost[i] = lat.t_measure;
+    } else if (g.kind == GateKind::kBarrier) {
+      node_cost[i] = 0.0;
+    } else if (!g.two_qubit()) {
+      node_cost[i] = lat.t_1q;
+    } else {
+      const QpuId a = qubit_to_qpu[static_cast<std::size_t>(g.qubits[0])];
+      const QpuId b = qubit_to_qpu[static_cast<std::size_t>(g.qubits[1])];
+      if (a == b) {
+        node_cost[i] = lat.t_2q;
+      } else {
+        const int hops = cloud.distance(a, b);
+        node_cost[i] = epr.expected_rounds(hops, 1) * lat.t_epr +
+                       lat.remote_gate_overhead();
+      }
+    }
+  }
+  return dag.critical_path(node_cost);
+}
+
+std::vector<int> qubits_per_qpu(const QuantumCloud& cloud,
+                                const std::vector<QpuId>& qubit_to_qpu) {
+  std::vector<int> count(static_cast<std::size_t>(cloud.num_qpus()), 0);
+  for (const QpuId q : qubit_to_qpu) {
+    CLOUDQC_CHECK(q >= 0 && q < static_cast<QpuId>(count.size()));
+    ++count[static_cast<std::size_t>(q)];
+  }
+  return count;
+}
+
+bool placement_fits(const QuantumCloud& cloud,
+                    const std::vector<QpuId>& qubit_to_qpu) {
+  const auto usage = qubits_per_qpu(cloud, qubit_to_qpu);
+  for (int i = 0; i < cloud.num_qpus(); ++i) {
+    if (usage[static_cast<std::size_t>(i)] >
+        cloud.qpu(i).free_computing()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Placement finalize_placement(const Circuit& circuit, const QuantumCloud& cloud,
+                             std::vector<QpuId> qubit_to_qpu, double alpha,
+                             double beta) {
+  Placement p;
+  p.qubit_to_qpu = std::move(qubit_to_qpu);
+  p.qubits_per_qpu = qubits_per_qpu(cloud, p.qubit_to_qpu);
+  p.comm_cost = placement_comm_cost(circuit, cloud, p.qubit_to_qpu);
+  p.remote_ops = placement_remote_ops(circuit, p.qubit_to_qpu);
+  const CircuitDag dag(circuit);
+  p.est_time = estimate_execution_time(circuit, dag, cloud, p.qubit_to_qpu);
+  // S = α/T + β/C; a zero-cost (single-QPU) placement is the best possible
+  // for the C-term, represented by treating 1/C as 1/(C+1) shifted — we use
+  // C+1 and T+1 to keep the score finite and monotone.
+  p.score = alpha / (p.est_time + 1.0) + beta / (p.comm_cost + 1.0);
+  return p;
+}
+
+}  // namespace cloudqc

@@ -1,0 +1,60 @@
+// Random placement baseline (Sec. VI-B): pick a random feasible QPU set by
+// random expansion from a random start node, then spread the qubits over it
+// in index order. Oblivious to the circuit's interaction structure.
+#include <numeric>
+
+#include "placement/cost.hpp"
+#include "placement/placement.hpp"
+
+namespace cloudqc {
+namespace {
+
+class RandomPlacer final : public Placer {
+ public:
+  std::string name() const override { return "Random"; }
+
+  std::optional<Placement> place(const Circuit& circuit,
+                                 const QuantumCloud& cloud,
+                                 Rng& rng) const override {
+    const int n = circuit.num_qubits();
+    if (n == 0 || cloud.total_free_computing() < n) return std::nullopt;
+
+    // Random search for a feasible QPU set: random start, then repeatedly
+    // add a random unselected QPU until the capacity constraint is met.
+    std::vector<QpuId> order(static_cast<std::size_t>(cloud.num_qpus()));
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+
+    std::vector<QpuId> selected;
+    int have = 0;
+    for (const QpuId q : order) {
+      if (cloud.qpu(q).free_computing() == 0) continue;
+      selected.push_back(q);
+      have += cloud.qpu(q).free_computing();
+      if (have >= n) break;
+    }
+    if (have < n) return std::nullopt;
+
+    // Scatter qubits uniformly over the selected QPUs' free slots (the
+    // baseline is oblivious to the interaction structure).
+    std::vector<QpuId> slots;
+    slots.reserve(static_cast<std::size_t>(have));
+    for (const QpuId q : selected) {
+      for (int s = 0; s < cloud.qpu(q).free_computing(); ++s) {
+        slots.push_back(q);
+      }
+    }
+    rng.shuffle(slots);
+    std::vector<QpuId> map(slots.begin(),
+                           slots.begin() + static_cast<std::ptrdiff_t>(n));
+    return finalize_placement(circuit, cloud, std::move(map), 0.5, 0.5);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Placer> make_random_placer() {
+  return std::make_unique<RandomPlacer>();
+}
+
+}  // namespace cloudqc

@@ -1,0 +1,65 @@
+// Communication-qubit allocation strategies (Sec. V-C and the Sec. VI-C
+// baselines). At every scheduling decision point the simulator hands the
+// allocator the set of ready remote operations plus the per-QPU free
+// communication-qubit counts; the allocator decides how many redundant
+// EPR-generation pipelines each operation receives (0 = wait).
+//
+// Allocating x pairs to an op consumes x communication qubits on *both*
+// endpoint QPUs, mirroring the paper's note that resources on both machines
+// decrease by the allocated amount.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/cloud.hpp"
+#include "common/rng.hpp"
+
+namespace cloudqc {
+
+/// One ready remote operation competing for communication qubits.
+struct CommRequest {
+  /// Opaque caller handle (job id / node id); not interpreted here.
+  int handle = 0;
+  /// Scheduling priority (longest path to a remote-DAG leaf).
+  double priority = 0.0;
+  QpuId qpu_a = kInvalidNode;
+  QpuId qpu_b = kInvalidNode;
+};
+
+class CommAllocator {
+ public:
+  virtual ~CommAllocator() = default;
+  virtual std::string name() const = 0;
+
+  /// Decide pair counts for each request (same order as `requests`).
+  /// `free_comm[q]` is the number of free communication qubits on QPU q;
+  /// the returned allocation must satisfy, for every QPU q,
+  ///   Σ_{r : q ∈ {r.a, r.b}} pairs[r] ≤ free_comm[q].
+  /// A request may receive 0 (it waits for the next decision point).
+  virtual std::vector<int> allocate(const std::vector<CommRequest>& requests,
+                                    std::vector<int> free_comm,
+                                    Rng& rng) const = 0;
+};
+
+/// CloudQC: every schedulable request first receives one pair in priority
+/// order (starvation freedom), then the remaining budget is handed out one
+/// pair at a time to the request with the highest priority-per-pair ratio
+/// (proportionally fair redundancy — critical gates get the most failure
+/// tolerance). `max_redundancy` caps pairs per op; the default is
+/// effectively uncapped.
+std::unique_ptr<CommAllocator> make_cloudqc_allocator(
+    int max_redundancy = 1 << 20);
+
+/// Greedy: the highest-priority request takes as much as it can, then the
+/// next, and so on.
+std::unique_ptr<CommAllocator> make_greedy_allocator();
+
+/// Average: repeated round-robin, one pair at a time, until nothing fits.
+std::unique_ptr<CommAllocator> make_average_allocator();
+
+/// Random: requests receive single pairs in a uniformly random order.
+std::unique_ptr<CommAllocator> make_random_allocator();
+
+}  // namespace cloudqc

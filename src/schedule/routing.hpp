@@ -1,0 +1,62 @@
+// Entanglement path selection for remote operations (the "Selected paths"
+// input to resource allocation in the paper's Fig. 4 workflow; the
+// congestion-aware variant follows the concurrent entanglement-routing line
+// of work the paper cites [37]).
+//
+// A remote gate between QPUs more than one hop apart must entangle every
+// link along a path and swap at intermediate nodes. Which path is chosen
+// matters under contention: the shortest path may run through a hot QPU
+// whose communication qubits are exhausted.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloud/cloud.hpp"
+
+namespace cloudqc {
+
+/// A routed path: QPU sequence from source to destination (inclusive).
+struct EprPath {
+  std::vector<QpuId> nodes;
+
+  int hops() const { return static_cast<int>(nodes.size()) - 1; }
+  bool valid() const { return nodes.size() >= 2; }
+};
+
+/// Router interface: choose a path for a remote op given the current free
+/// communication qubits per QPU (`free_comm`). Returns nullopt when no
+/// usable path exists (e.g. an intermediate QPU has zero free qubits and
+/// every detour is saturated too).
+class EprRouter {
+ public:
+  virtual ~EprRouter() = default;
+  virtual std::string name() const = 0;
+  virtual std::optional<EprPath> route(const QuantumCloud& cloud, QpuId src,
+                                       QpuId dst,
+                                       const std::vector<int>& free_comm)
+      const = 0;
+};
+
+/// Always the hop-shortest path (ties broken deterministically by node id).
+/// Ignores congestion — the paper's implicit default.
+std::unique_ptr<EprRouter> make_shortest_path_router();
+
+/// Congestion-aware: among *minimal-hop* paths, picks the one whose
+/// intermediate QPUs are least loaded. Longer detours are taken only when
+/// every shorter path has a saturated (zero-free) swap node, and never more
+/// than `max_extra_hops` beyond the minimum — EPR success decays as p^hops,
+/// so a detour costs exponentially more generation rounds and is only worth
+/// it to avoid outright blocking. Falls back to the plain shortest path
+/// when every alternative is saturated.
+std::unique_ptr<EprRouter> make_congestion_aware_router(int max_extra_hops = 2);
+
+/// Enumerate up to `k` loop-free shortest paths between two QPUs (Yen's
+/// algorithm over hop counts). Exposed for tests and for router
+/// implementations.
+std::vector<EprPath> k_shortest_paths(const Graph& topology, QpuId src,
+                                      QpuId dst, int k);
+
+}  // namespace cloudqc

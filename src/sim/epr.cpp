@@ -1,0 +1,77 @@
+#include "sim/epr.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace cloudqc {
+
+EprModel::EprModel(double success_prob) : p_(success_prob) {
+  CLOUDQC_CHECK(success_prob > 0.0 && success_prob <= 1.0);
+}
+
+double EprModel::per_round_prob(int hops) const {
+  CLOUDQC_CHECK(hops >= 1);
+  return std::pow(p_, hops);
+}
+
+double EprModel::per_round_prob(int hops, int pairs) const {
+  CLOUDQC_CHECK(pairs >= 1);
+  const double q = per_round_prob(hops);
+  return 1.0 - std::pow(1.0 - q, pairs);
+}
+
+int EprModel::rounds_until_success(int hops, int pairs, Rng& rng) const {
+  const double q = per_round_prob(hops, pairs);
+  if (q >= 1.0) return 1;
+  // Inverse-CDF sampling of the geometric distribution.
+  const double u = rng.uniform();
+  const int rounds =
+      1 + static_cast<int>(std::floor(std::log1p(-u) / std::log1p(-q)));
+  // Cap pathological draws so one unlucky sample cannot stall a whole
+  // simulation (q can be ~1e-3 at p=0.1 over multiple hops).
+  constexpr int kMaxRounds = 100000;
+  return rounds < 1 ? 1 : (rounds > kMaxRounds ? kMaxRounds : rounds);
+}
+
+double EprModel::expected_rounds(int hops, int pairs) const {
+  return 1.0 / per_round_prob(hops, pairs);
+}
+
+int EprModel::rounds_until_k_successes(int hops, int pairs, int k,
+                                       Rng& rng) const {
+  CLOUDQC_CHECK(k >= 1);
+  long total = 0;
+  for (int i = 0; i < k; ++i) {
+    total += rounds_until_success(hops, pairs, rng);
+  }
+  constexpr long kMaxRounds = 1000000;
+  return static_cast<int>(total > kMaxRounds ? kMaxRounds : total);
+}
+
+namespace purification {
+
+double purified_fidelity(double f) {
+  CLOUDQC_CHECK(f > 0.0 && f <= 1.0);
+  // Werner-state BBPSSW recurrence (success branch), keeping only the
+  // diagonal terms: f' = (f² + ((1-f)/3)²) / (f² + 2f(1-f)/3 + 5((1-f)/3)²).
+  const double e = (1.0 - f) / 3.0;
+  const double num = f * f + e * e;
+  const double den = f * f + 2.0 * f * e + 5.0 * e * e;
+  return num / den;
+}
+
+double purified_fidelity(double f, int level) {
+  CLOUDQC_CHECK(level >= 0);
+  for (int i = 0; i < level; ++i) f = purified_fidelity(f);
+  return f;
+}
+
+int raw_pairs_needed(int level) {
+  CLOUDQC_CHECK(level >= 0 && level < 16);
+  return 1 << level;
+}
+
+}  // namespace purification
+
+}  // namespace cloudqc

@@ -1,0 +1,54 @@
+// Minimal discrete-event queue: (time, sequence, payload) min-heap. The
+// sequence number makes simultaneous events FIFO-stable so simulations are
+// deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace cloudqc {
+
+using SimTime = double;
+
+template <typename Payload>
+class EventQueue {
+ public:
+  void push(SimTime time, Payload payload) {
+    CLOUDQC_DCHECK(time >= 0.0);
+    heap_.push(Entry{time, next_seq_++, std::move(payload)});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  SimTime next_time() const {
+    CLOUDQC_CHECK(!heap_.empty());
+    return heap_.top().time;
+  }
+
+  /// Pop the earliest event; returns (time, payload).
+  std::pair<SimTime, Payload> pop() {
+    CLOUDQC_CHECK(!heap_.empty());
+    Entry e = heap_.top();
+    heap_.pop();
+    return {e.time, std::move(e.payload)};
+  }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    Payload payload;
+    bool operator>(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace cloudqc

@@ -1,0 +1,268 @@
+#include "sim/network_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace cloudqc {
+
+NetworkSimulator::NetworkSimulator(const QuantumCloud& cloud,
+                                   const CommAllocator& allocator, Rng rng,
+                                   const EprRouter* router)
+    : cloud_(cloud),
+      allocator_(allocator),
+      router_(router),
+      rng_(rng),
+      epr_(cloud.config().epr_success_prob) {
+  free_comm_.resize(static_cast<std::size_t>(cloud.num_qpus()));
+  for (QpuId q = 0; q < cloud.num_qpus(); ++q) {
+    free_comm_[static_cast<std::size_t>(q)] = cloud.qpu(q).comm_capacity();
+  }
+}
+
+int NetworkSimulator::add_job(const Circuit& circuit,
+                              std::vector<QpuId> qubit_to_qpu) {
+  CLOUDQC_CHECK(qubit_to_qpu.size() ==
+                static_cast<std::size_t>(circuit.num_qubits()));
+  const int id = static_cast<int>(jobs_.size());
+  CircuitDag dag(circuit);
+  RemoteDag remote(circuit, dag, qubit_to_qpu, cloud_);
+
+  Job job;
+  job.circuit = &circuit;
+  job.map = std::move(qubit_to_qpu);
+  job.remote_prio = remote.priorities();
+  job.remote_of_gate.assign(circuit.num_gates(), -1);
+  for (std::size_t i = 0; i < remote.num_ops(); ++i) {
+    job.remote_of_gate[static_cast<std::size_t>(
+        remote.op(static_cast<int>(i)).gate_index)] = static_cast<int>(i);
+  }
+  job.pending_preds.resize(circuit.num_gates());
+  for (std::size_t g = 0; g < circuit.num_gates(); ++g) {
+    job.pending_preds[g] = dag.in_degree(static_cast<int>(g));
+  }
+  job.gates_left = circuit.num_gates();
+  job.admitted = now_;
+  job.dag = std::move(dag);
+  job.remote = std::move(remote);
+  jobs_.push_back(std::move(job));
+
+  if (jobs_.back().gates_left == 0) {
+    jobs_.back().done = true;
+  } else {
+    for (const int g : jobs_.back().dag.front_layer()) {
+      on_ready(id, g);
+    }
+    allocate_and_start();
+  }
+  return id;
+}
+
+double NetworkSimulator::gate_duration(const Job& job, int gate) const {
+  const LatencyModel& lat = cloud_.config().latency;
+  const Gate& g = job.circuit->gates()[static_cast<std::size_t>(gate)];
+  switch (g.kind) {
+    case GateKind::kMeasure:
+      return lat.t_measure;
+    case GateKind::kReset:
+      return lat.t_measure;  // reset = measure + conditional flip
+    case GateKind::kBarrier:
+      return 0.0;
+    default:
+      break;
+  }
+  return g.two_qubit() ? lat.t_2q : lat.t_1q;
+}
+
+void NetworkSimulator::on_ready(int job_id, int gate) {
+  Job& job = jobs_[static_cast<std::size_t>(job_id)];
+  if (job.remote_of_gate[static_cast<std::size_t>(gate)] >= 0) {
+    waiting_remote_.emplace_back(job_id, gate);
+  } else {
+    start_local(job_id, gate);
+  }
+}
+
+void NetworkSimulator::start_local(int job_id, int gate) {
+  Job& job = jobs_[static_cast<std::size_t>(job_id)];
+  const FidelityModel& fid = cloud_.config().fidelity;
+  const Gate& g = job.circuit->gates()[static_cast<std::size_t>(gate)];
+  switch (g.kind) {
+    case GateKind::kMeasure:
+    case GateKind::kReset:
+      job.log_fidelity += std::log(fid.f_measure);
+      break;
+    case GateKind::kBarrier:
+      break;
+    default:
+      job.log_fidelity += std::log(g.two_qubit() ? fid.f_2q : fid.f_1q);
+      break;
+  }
+  events_.push(now_ + gate_duration(job, gate), GateDone{job_id, gate, 0, {}});
+}
+
+void NetworkSimulator::allocate_and_start() {
+  if (waiting_remote_.empty()) return;
+
+  std::vector<CommRequest> requests;
+  requests.reserve(waiting_remote_.size());
+  for (const auto& [job_id, gate] : waiting_remote_) {
+    const Job& job = jobs_[static_cast<std::size_t>(job_id)];
+    const int node = job.remote_of_gate[static_cast<std::size_t>(gate)];
+    const RemoteOp& op = job.remote.op(node);
+    CommRequest req;
+    req.handle = static_cast<int>(requests.size());
+    req.priority =
+        static_cast<double>(job.remote_prio[static_cast<std::size_t>(node)]);
+    req.qpu_a = op.qpu_a;
+    req.qpu_b = op.qpu_b;
+    requests.push_back(req);
+  }
+
+  const std::vector<int> pairs =
+      allocator_.allocate(requests, free_comm_, rng_);
+  CLOUDQC_CHECK(pairs.size() == requests.size());
+
+  // Validate the allocator respected per-QPU budgets, then start funded
+  // operations.
+  std::vector<int> spend(free_comm_.size(), 0);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    CLOUDQC_CHECK(pairs[i] >= 0);
+    if (pairs[i] == 0) continue;
+    spend[static_cast<std::size_t>(requests[i].qpu_a)] += pairs[i];
+    spend[static_cast<std::size_t>(requests[i].qpu_b)] += pairs[i];
+  }
+  for (std::size_t q = 0; q < free_comm_.size(); ++q) {
+    CLOUDQC_CHECK_MSG(spend[q] <= free_comm_[q],
+                      "allocator exceeded communication budget");
+  }
+
+  std::vector<std::pair<int, int>> still_waiting;
+  const LatencyModel& lat = cloud_.config().latency;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const auto [job_id, gate] = waiting_remote_[i];
+    if (pairs[i] == 0) {
+      still_waiting.emplace_back(job_id, gate);
+      continue;
+    }
+    Job& job = jobs_[static_cast<std::size_t>(job_id)];
+    const int node = job.remote_of_gate[static_cast<std::size_t>(gate)];
+    const RemoteOp& op = job.remote.op(node);
+
+    // Decide the path (and hence hop count + the QPUs that hold qubits).
+    int hops = op.hops;
+    std::vector<QpuId> reserved_on{op.qpu_a, op.qpu_b};
+    int x = pairs[i];
+    if (router_ != nullptr) {
+      const auto path = router_->route(cloud_, op.qpu_a, op.qpu_b, free_comm_);
+      if (path.has_value() && path->valid()) {
+        hops = path->hops();
+        // Entanglement swapping consumes qubits at every intermediate QPU;
+        // redundancy is capped by the tightest node on the path.
+        for (std::size_t j = 1; j + 1 < path->nodes.size(); ++j) {
+          reserved_on.push_back(path->nodes[j]);
+        }
+      }
+      // Earlier ops in this batch may have consumed path/endpoint qubits
+      // the allocator assumed free; cap by the tightest reserved node.
+      for (const QpuId q : reserved_on) {
+        x = std::min(x, free_comm_[static_cast<std::size_t>(q)]);
+      }
+      if (x <= 0) {
+        // A saturated swap node blocks this op for now; retry at the next
+        // decision point (endpoint qubits were never deducted).
+        still_waiting.emplace_back(job_id, gate);
+        continue;
+      }
+    }
+    for (const QpuId q : reserved_on) {
+      free_comm_[static_cast<std::size_t>(q)] -= x;
+      CLOUDQC_DCHECK(free_comm_[static_cast<std::size_t>(q)] >= 0);
+    }
+    // Purification: each delivered pair costs 2^level raw successes and
+    // lifts the pair fidelity by the BBPSSW recurrence.
+    const int level = cloud_.config().purification_level;
+    const int raw_needed = purification::raw_pairs_needed(level);
+    const int rounds =
+        raw_needed == 1
+            ? epr_.rounds_until_success(hops, x, rng_)
+            : epr_.rounds_until_k_successes(hops, x, raw_needed, rng_);
+    total_epr_rounds_ += static_cast<std::uint64_t>(rounds);
+    const double duration =
+        rounds * lat.t_epr + lat.remote_gate_overhead();
+    const FidelityModel& fid = cloud_.config().fidelity;
+    const double pair_fidelity =
+        purification::purified_fidelity(fid.epr_path_fidelity(hops), level);
+    job.log_fidelity += std::log(pair_fidelity * fid.f_2q * fid.f_measure *
+                                 fid.f_1q);
+    events_.push(now_ + duration,
+                 GateDone{job_id, gate, x, std::move(reserved_on)});
+  }
+  waiting_remote_ = std::move(still_waiting);
+}
+
+void NetworkSimulator::finish_gate(const GateDone& done) {
+  Job& job = jobs_[static_cast<std::size_t>(done.job)];
+  if (done.comm_pairs > 0) {
+    for (const QpuId q : done.reserved_on) {
+      free_comm_[static_cast<std::size_t>(q)] += done.comm_pairs;
+    }
+  }
+  CLOUDQC_CHECK(job.gates_left > 0);
+  --job.gates_left;
+  for (const int s : job.dag.successors(done.gate)) {
+    if (--job.pending_preds[static_cast<std::size_t>(s)] == 0) {
+      on_ready(done.job, s);
+    }
+  }
+}
+
+std::optional<SimTime> NetworkSimulator::next_event_time() const {
+  if (events_.empty()) return std::nullopt;
+  return events_.next_time();
+}
+
+std::optional<JobCompletion> NetworkSimulator::step() {
+  CLOUDQC_CHECK_MSG(!events_.empty(), "step() on an idle simulator");
+  auto [time, done] = events_.pop();
+  now_ = time;
+  finish_gate(done);
+  // Resources may have been freed and/or new remote gates became ready.
+  allocate_and_start();
+  Job& job = jobs_[static_cast<std::size_t>(done.job)];
+  if (job.gates_left == 0 && !job.done) {
+    job.done = true;
+    return JobCompletion{done.job, now_, std::exp(job.log_fidelity),
+                         job.log_fidelity};
+  }
+  return std::nullopt;
+}
+
+void NetworkSimulator::advance_time(SimTime t) {
+  CLOUDQC_CHECK(t >= now_);
+  if (!events_.empty()) {
+    CLOUDQC_CHECK_MSG(t <= events_.next_time(),
+                      "advance_time would skip scheduled events");
+  }
+  now_ = t;
+}
+
+std::optional<JobCompletion> NetworkSimulator::run_until_next_completion() {
+  while (!events_.empty()) {
+    if (auto completion = step()) return completion;
+  }
+  CLOUDQC_CHECK_MSG(waiting_remote_.empty(),
+                    "simulation stalled with waiting remote operations");
+  return std::nullopt;
+}
+
+std::vector<JobCompletion> NetworkSimulator::run_to_completion() {
+  std::vector<JobCompletion> completions;
+  while (auto c = run_until_next_completion()) {
+    completions.push_back(*c);
+  }
+  return completions;
+}
+
+}  // namespace cloudqc

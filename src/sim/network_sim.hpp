@@ -1,0 +1,137 @@
+// Discrete-event simulator executing one or more *placed* circuits on the
+// quantum cloud. Local gates run as soon as their DAG predecessors finish;
+// remote gates additionally contend for communication qubits, which a
+// pluggable CommAllocator hands out at every decision point (Algorithm 3's
+// main loop). EPR generation is probabilistic per the EprModel.
+//
+// The simulator supports dynamic job admission, which is how the
+// multi-tenant engine (core/multi_tenant.hpp) runs concurrent tenants on a
+// shared network.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/dag.hpp"
+#include "cloud/cloud.hpp"
+#include "common/rng.hpp"
+#include "schedule/allocators.hpp"
+#include "schedule/remote_dag.hpp"
+#include "schedule/routing.hpp"
+#include "sim/epr.hpp"
+#include "sim/event_queue.hpp"
+
+namespace cloudqc {
+
+struct JobCompletion {
+  int job = -1;
+  SimTime time = 0.0;
+  /// First-order output-fidelity estimate: product of per-gate fidelity
+  /// factors (FidelityModel), remote gates paying per swap hop. Underflows
+  /// to 0 for very large circuits — use log_fidelity for comparisons.
+  double est_fidelity = 1.0;
+  /// ln(est_fidelity), exact even when the product underflows.
+  double log_fidelity = 0.0;
+};
+
+class NetworkSimulator {
+ public:
+  /// `cloud` provides the latency model, the EPR success probability and
+  /// the per-QPU communication-qubit capacities. Computing-qubit
+  /// bookkeeping stays with the caller (the placement layer).
+  ///
+  /// When `router` is non-null, each multi-hop remote operation is routed
+  /// at start time against the live congestion state, and communication
+  /// qubits are reserved on every QPU along the chosen path (entanglement
+  /// swapping at intermediate nodes consumes qubits there too). With a null
+  /// router, ops use the static hop distance from placement time and only
+  /// endpoint qubits are accounted — the paper's simpler model.
+  NetworkSimulator(const QuantumCloud& cloud, const CommAllocator& allocator,
+                   Rng rng, const EprRouter* router = nullptr);
+
+  /// Admit a placed job at the current simulation time. Returns a job id.
+  /// `qubit_to_qpu` must cover every qubit of `circuit`.
+  int add_job(const Circuit& circuit, std::vector<QpuId> qubit_to_qpu);
+
+  /// Advance the simulation until the next job completes; nullopt when all
+  /// admitted jobs have finished.
+  std::optional<JobCompletion> run_until_next_completion();
+
+  /// Time of the next scheduled event, or nullopt when idle.
+  std::optional<SimTime> next_event_time() const;
+
+  /// Process exactly one event; returns a completion record when that
+  /// event finished a job. Precondition: !idle (next_event_time() has a
+  /// value).
+  std::optional<JobCompletion> step();
+
+  /// Move the clock forward to `t` without processing events (used by
+  /// drivers to align job arrivals with simulation time). Precondition:
+  /// now() <= t <= next_event_time() (if any event is scheduled).
+  void advance_time(SimTime t);
+
+  /// Drain everything; returns the completion record of every job admitted
+  /// so far, in completion order.
+  std::vector<JobCompletion> run_to_completion();
+
+  SimTime now() const { return now_; }
+
+  /// Number of jobs admitted so far.
+  int num_jobs() const { return static_cast<int>(jobs_.size()); }
+
+  /// Total EPR attempt rounds consumed so far (all jobs) — a network-cost
+  /// counter used by benches and tests.
+  std::uint64_t total_epr_rounds() const { return total_epr_rounds_; }
+
+ private:
+  struct GateDone {
+    int job;
+    int gate;
+    int comm_pairs;  // communication qubits to release (remote gates)
+    /// QPUs holding `comm_pairs` qubits each for this op (endpoints, plus
+    /// intermediate swap nodes when routing is enabled).
+    std::vector<QpuId> reserved_on;
+  };
+
+  struct Job {
+    const Circuit* circuit = nullptr;
+    std::vector<QpuId> map;
+    CircuitDag dag;
+    RemoteDag remote;
+    std::vector<int> remote_prio;     // priority per remote-dag node
+    std::vector<int> remote_of_gate;  // gate index -> remote node id or -1
+    std::vector<int> pending_preds;   // per gate
+    std::size_t gates_left = 0;
+    SimTime admitted = 0.0;
+    double log_fidelity = 0.0;  // Σ log f per executed gate
+    bool done = false;
+  };
+
+  /// Gate became ready: local gates start immediately; remote gates join
+  /// the wait queue for the next allocation round.
+  void on_ready(int job, int gate);
+  void start_local(int job, int gate);
+  /// Run the allocator over all waiting remote ops and start the funded
+  /// ones.
+  void allocate_and_start();
+  void finish_gate(const GateDone& done);
+  double gate_duration(const Job& job, int gate) const;
+
+  const QuantumCloud& cloud_;
+  const CommAllocator& allocator_;
+  const EprRouter* router_;  // may be null (static shortest-hop model)
+  Rng rng_;
+  EprModel epr_;
+  EventQueue<GateDone> events_;
+  std::vector<Job> jobs_;
+  /// Waiting remote ops as (job, gate).
+  std::vector<std::pair<int, int>> waiting_remote_;
+  /// Free communication qubits per QPU (simulator-owned view).
+  std::vector<int> free_comm_;
+  SimTime now_ = 0.0;
+  std::uint64_t total_epr_rounds_ = 0;
+};
+
+}  // namespace cloudqc

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "schedule/allocators.hpp"
+
+namespace cloudqc {
+namespace {
+
+CommRequest req(double priority, QpuId a, QpuId b) {
+  CommRequest r;
+  r.priority = priority;
+  r.qpu_a = a;
+  r.qpu_b = b;
+  return r;
+}
+
+/// Verify the fundamental budget invariant for any allocator result.
+void expect_within_budget(const std::vector<CommRequest>& requests,
+                          const std::vector<int>& pairs,
+                          const std::vector<int>& budget) {
+  std::vector<int> spend(budget.size(), 0);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_GE(pairs[i], 0);
+    spend[static_cast<std::size_t>(requests[i].qpu_a)] += pairs[i];
+    spend[static_cast<std::size_t>(requests[i].qpu_b)] += pairs[i];
+  }
+  for (std::size_t q = 0; q < budget.size(); ++q) {
+    EXPECT_LE(spend[q], budget[q]) << "QPU " << q;
+  }
+}
+
+TEST(CloudQcAllocator, EveryoneGetsOneBeforeRedundancy) {
+  const auto alloc = make_cloudqc_allocator(3);
+  Rng rng(1);
+  // Two ops sharing QPU 0, which has 3 comm qubits.
+  const std::vector<CommRequest> rs{req(5, 0, 1), req(1, 0, 2)};
+  const auto pairs = alloc->allocate(rs, {3, 5, 5}, rng);
+  EXPECT_GE(pairs[0], 1);
+  EXPECT_GE(pairs[1], 1);  // low priority still served — starvation freedom
+  expect_within_budget(rs, pairs, {3, 5, 5});
+}
+
+TEST(CloudQcAllocator, RedundancyGoesToHighestPriority) {
+  const auto alloc = make_cloudqc_allocator(3);
+  Rng rng(1);
+  const std::vector<CommRequest> rs{req(9, 0, 1), req(1, 0, 2)};
+  const auto pairs = alloc->allocate(rs, {4, 5, 5}, rng);
+  // QPU 0 budget 4: 1+1 in pass one, remaining 2 → priority-9 op.
+  EXPECT_EQ(pairs[0], 3);
+  EXPECT_EQ(pairs[1], 1);
+}
+
+TEST(CloudQcAllocator, RespectsRedundancyCap) {
+  const auto alloc = make_cloudqc_allocator(2);
+  Rng rng(1);
+  const std::vector<CommRequest> rs{req(9, 0, 1)};
+  const auto pairs = alloc->allocate(rs, {10, 10}, rng);
+  EXPECT_EQ(pairs[0], 2);
+}
+
+TEST(CloudQcAllocator, ZeroWhenNoBudget) {
+  const auto alloc = make_cloudqc_allocator();
+  Rng rng(1);
+  const std::vector<CommRequest> rs{req(9, 0, 1)};
+  const auto pairs = alloc->allocate(rs, {0, 5}, rng);
+  EXPECT_EQ(pairs[0], 0);
+}
+
+TEST(GreedyAllocator, MaximisesTopPriority) {
+  const auto alloc = make_greedy_allocator();
+  Rng rng(1);
+  const std::vector<CommRequest> rs{req(9, 0, 1), req(5, 0, 2)};
+  const auto pairs = alloc->allocate(rs, {5, 5, 5}, rng);
+  EXPECT_EQ(pairs[0], 5);  // all of QPU 0's budget
+  EXPECT_EQ(pairs[1], 0);  // starved
+}
+
+TEST(GreedyAllocator, SecondOpServedWhenDisjoint) {
+  const auto alloc = make_greedy_allocator();
+  Rng rng(1);
+  const std::vector<CommRequest> rs{req(9, 0, 1), req(5, 2, 3)};
+  const auto pairs = alloc->allocate(rs, {2, 5, 4, 4}, rng);
+  EXPECT_EQ(pairs[0], 2);
+  EXPECT_EQ(pairs[1], 4);
+}
+
+TEST(AverageAllocator, EvenSplit) {
+  const auto alloc = make_average_allocator();
+  Rng rng(1);
+  const std::vector<CommRequest> rs{req(9, 0, 1), req(1, 0, 2)};
+  const auto pairs = alloc->allocate(rs, {6, 6, 6}, rng);
+  EXPECT_EQ(pairs[0], 3);
+  EXPECT_EQ(pairs[1], 3);
+}
+
+TEST(RandomAllocator, ExhaustsBudgetSomehow) {
+  const auto alloc = make_random_allocator();
+  Rng rng(5);
+  const std::vector<CommRequest> rs{req(1, 0, 1), req(1, 0, 2)};
+  const auto pairs = alloc->allocate(rs, {4, 9, 9}, rng);
+  EXPECT_EQ(pairs[0] + pairs[1], 4);  // QPU 0 is the bottleneck
+  expect_within_budget(rs, pairs, {4, 9, 9});
+}
+
+TEST(Allocators, EmptyRequestListIsFine) {
+  Rng rng(1);
+  for (const auto& alloc :
+       {make_cloudqc_allocator(), make_greedy_allocator(),
+        make_average_allocator(), make_random_allocator()}) {
+    EXPECT_TRUE(alloc->allocate({}, {3, 3}, rng).empty()) << alloc->name();
+  }
+}
+
+TEST(Allocators, Names) {
+  EXPECT_EQ(make_cloudqc_allocator()->name(), "CloudQC");
+  EXPECT_EQ(make_greedy_allocator()->name(), "Greedy");
+  EXPECT_EQ(make_average_allocator()->name(), "Average");
+  EXPECT_EQ(make_random_allocator()->name(), "Random");
+}
+
+// Property sweep: all four allocators respect per-QPU budgets and make
+// progress (at least one op funded when budget exists) across random
+// request patterns.
+class AllocatorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllocatorProperty, BudgetAndProgress) {
+  const int variant = GetParam();
+  const std::unique_ptr<CommAllocator> alloc =
+      variant == 0   ? make_cloudqc_allocator()
+      : variant == 1 ? make_greedy_allocator()
+      : variant == 2 ? make_average_allocator()
+                     : make_random_allocator();
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int qpus = 4 + static_cast<int>(rng.below(4));
+    std::vector<int> budget(static_cast<std::size_t>(qpus));
+    for (auto& b : budget) b = static_cast<int>(rng.below(6));
+    std::vector<CommRequest> rs;
+    const int n = 1 + static_cast<int>(rng.below(8));
+    for (int i = 0; i < n; ++i) {
+      const auto a = static_cast<QpuId>(rng.below(static_cast<std::uint64_t>(qpus)));
+      auto b = static_cast<QpuId>(rng.below(static_cast<std::uint64_t>(qpus)));
+      if (b == a) b = (b + 1) % qpus;
+      rs.push_back(req(static_cast<double>(rng.below(10)), a, b));
+    }
+    const auto pairs = alloc->allocate(rs, budget, rng);
+    ASSERT_EQ(pairs.size(), rs.size());
+    expect_within_budget(rs, pairs, budget);
+    // Progress: if any request could take a pair, at least one op is funded.
+    bool any_possible = false;
+    for (const auto& r : rs) {
+      if (budget[static_cast<std::size_t>(r.qpu_a)] >= 1 &&
+          budget[static_cast<std::size_t>(r.qpu_b)] >= 1) {
+        any_possible = true;
+      }
+    }
+    if (any_possible) {
+      int total = 0;
+      for (int p : pairs) total += p;
+      EXPECT_GT(total, 0) << alloc->name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFour, AllocatorProperty,
+                         ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace cloudqc

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "circuit/workloads.hpp"
+#include "core/batch_manager.hpp"
+
+namespace cloudqc {
+namespace {
+
+TEST(BatchManager, ImportanceFormula) {
+  Circuit c("t", 4);
+  c.cx(0, 1);
+  c.cx(1, 2);  // density 2/4, depth 2
+  BatchWeights w{2.0, 3.0, 5.0};
+  EXPECT_DOUBLE_EQ(job_importance(c, w), 2.0 * 0.5 + 3.0 * 4 + 5.0 * 2);
+}
+
+TEST(BatchManager, LargerDenserDeeperScoresHigher) {
+  const Circuit small = gen::ghz(10);
+  const Circuit large = make_workload("multiplier_n45");
+  EXPECT_GT(job_importance(large), job_importance(small));
+}
+
+TEST(BatchManager, OrderIsDescendingImportance) {
+  std::vector<Circuit> jobs;
+  jobs.push_back(gen::ghz(8));                    // tiny
+  jobs.push_back(make_workload("multiplier_n45"));  // heavy
+  jobs.push_back(gen::ghz(40));                   // middling
+  const auto order = batch_order(jobs);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 0u);
+}
+
+TEST(BatchManager, StableForTies) {
+  std::vector<Circuit> jobs;
+  jobs.push_back(gen::ghz(16));
+  jobs.push_back(gen::ghz(16));  // identical importance
+  const auto order = batch_order(jobs);
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 1u);
+}
+
+TEST(BatchManager, FifoIsIdentity) {
+  const auto order = fifo_order(4);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(BatchManager, WeightsChangeOrder) {
+  std::vector<Circuit> jobs;
+  jobs.push_back(gen::qft(12));  // dense but small
+  jobs.push_back(gen::ghz(60));  // sparse but wide
+  // Density-dominated weights put QFT first.
+  BatchWeights density_heavy{100.0, 0.0, 0.0};
+  EXPECT_EQ(batch_order(jobs, density_heavy)[0], 0u);
+  // Width-dominated weights put GHZ first.
+  BatchWeights width_heavy{0.0, 100.0, 0.0};
+  EXPECT_EQ(batch_order(jobs, width_heavy)[0], 1u);
+}
+
+TEST(BatchManager, EmptyBatch) {
+  EXPECT_TRUE(batch_order({}).empty());
+  EXPECT_TRUE(fifo_order(0).empty());
+}
+
+}  // namespace
+}  // namespace cloudqc

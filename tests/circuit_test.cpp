@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hpp"
+
+namespace cloudqc {
+namespace {
+
+TEST(Gate, ArityClassification) {
+  EXPECT_FALSE(is_two_qubit(GateKind::kH));
+  EXPECT_FALSE(is_two_qubit(GateKind::kMeasure));
+  EXPECT_TRUE(is_two_qubit(GateKind::kCx));
+  EXPECT_TRUE(is_two_qubit(GateKind::kRzz));
+  EXPECT_TRUE(is_two_qubit(GateKind::kSwap));
+}
+
+TEST(Gate, Names) {
+  EXPECT_EQ(gate_name(GateKind::kCx), "cx");
+  EXPECT_EQ(gate_name(GateKind::kMeasure), "measure");
+}
+
+TEST(Circuit, AddValidatesQubits) {
+  Circuit c("t", 2);
+  EXPECT_NO_THROW(c.h(0));
+  EXPECT_NO_THROW(c.cx(0, 1));
+  EXPECT_THROW(c.h(2), std::logic_error);
+  EXPECT_THROW(c.cx(0, 5), std::logic_error);
+  EXPECT_THROW(c.cx(1, 1), std::logic_error);  // identical qubits
+}
+
+TEST(Circuit, TwoQubitGateCount) {
+  Circuit c("t", 3);
+  c.h(0);
+  c.cx(0, 1);
+  c.cz(1, 2);
+  c.t(2);
+  c.measure(0);
+  EXPECT_EQ(c.two_qubit_gate_count(), 2u);
+  EXPECT_EQ(c.num_gates(), 5u);
+}
+
+TEST(Circuit, DepthSequentialChain) {
+  Circuit c("t", 2);
+  c.h(0);     // depth 1
+  c.h(0);     // depth 2
+  c.cx(0, 1); // depth 3
+  c.h(1);     // depth 4
+  EXPECT_EQ(c.depth(), 4);
+}
+
+TEST(Circuit, DepthParallelGates) {
+  Circuit c("t", 4);
+  c.h(0);
+  c.h(1);
+  c.h(2);
+  c.h(3);
+  EXPECT_EQ(c.depth(), 1);
+  c.cx(0, 1);
+  c.cx(2, 3);
+  EXPECT_EQ(c.depth(), 2);
+}
+
+TEST(Circuit, DepthTwoQubitSynchronises) {
+  Circuit c("t", 3);
+  c.h(0);
+  c.h(0);   // qubit 0 at level 2
+  c.cx(0, 1);  // must wait for qubit 0 → level 3 on both
+  c.h(1);
+  EXPECT_EQ(c.depth(), 4);
+}
+
+TEST(Circuit, EmptyCircuit) {
+  Circuit c("t", 3);
+  EXPECT_EQ(c.depth(), 0);
+  EXPECT_EQ(c.two_qubit_gate_count(), 0u);
+  EXPECT_DOUBLE_EQ(c.two_qubit_density(), 0.0);
+}
+
+TEST(Circuit, InteractionGraphWeights) {
+  Circuit c("t", 3);
+  c.cx(0, 1);
+  c.cx(0, 1);
+  c.cx(1, 0);  // same pair, opposite direction — still edge (0,1)
+  c.cz(1, 2);
+  const Graph g = c.interaction_graph();
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 2), 1.0);
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Circuit, InteractionGraphIgnoresSingleQubitGates) {
+  Circuit c("t", 2);
+  c.h(0);
+  c.measure(1);
+  const Graph g = c.interaction_graph();
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Circuit, TwoQubitDensity) {
+  Circuit c("t", 4);
+  c.cx(0, 1);
+  c.cx(2, 3);
+  EXPECT_DOUBLE_EQ(c.two_qubit_density(), 0.5);
+}
+
+TEST(Circuit, NameRoundTrip) {
+  Circuit c("original", 1);
+  EXPECT_EQ(c.name(), "original");
+  c.set_name("renamed");
+  EXPECT_EQ(c.name(), "renamed");
+}
+
+}  // namespace
+}  // namespace cloudqc

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/epr.hpp"
+#include "sim/event_queue.hpp"
+
+namespace cloudqc {
+namespace {
+
+TEST(EprModel, PerRoundProbability) {
+  const EprModel m(0.3);
+  EXPECT_DOUBLE_EQ(m.per_round_prob(1), 0.3);
+  EXPECT_DOUBLE_EQ(m.per_round_prob(2), 0.09);
+  EXPECT_NEAR(m.per_round_prob(1, 2), 1.0 - 0.49, 1e-12);
+  EXPECT_NEAR(m.per_round_prob(1, 5), 1.0 - std::pow(0.7, 5), 1e-12);
+}
+
+TEST(EprModel, CertainSuccessIsOneRound) {
+  const EprModel m(1.0);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(m.rounds_until_success(1, 1, rng), 1);
+  }
+}
+
+TEST(EprModel, ExpectedRounds) {
+  const EprModel m(0.5);
+  EXPECT_DOUBLE_EQ(m.expected_rounds(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.expected_rounds(2, 1), 4.0);
+  EXPECT_NEAR(m.expected_rounds(1, 2), 1.0 / 0.75, 1e-12);
+}
+
+TEST(EprModel, InvalidProbabilityRejected) {
+  EXPECT_THROW(EprModel(0.0), std::logic_error);
+  EXPECT_THROW(EprModel(1.5), std::logic_error);
+  EXPECT_NO_THROW(EprModel(1.0));
+}
+
+TEST(EprModel, GeometricSampleMeanMatchesExpectation) {
+  const EprModel m(0.3);
+  Rng rng(42);
+  double total = 0.0;
+  constexpr int kRuns = 20000;
+  for (int i = 0; i < kRuns; ++i) {
+    total += m.rounds_until_success(1, 1, rng);
+  }
+  EXPECT_NEAR(total / kRuns, 1.0 / 0.3, 0.1);
+}
+
+TEST(EprModel, RedundancyReducesLatency) {
+  const EprModel m(0.3);
+  Rng rng(7);
+  auto mean_rounds = [&](int pairs) {
+    double t = 0.0;
+    for (int i = 0; i < 5000; ++i) t += m.rounds_until_success(1, pairs, rng);
+    return t / 5000;
+  };
+  const double one = mean_rounds(1);
+  const double three = mean_rounds(3);
+  EXPECT_LT(three, one * 0.55);  // 1/(1-0.7^3) ≈ 1.52 vs 1/0.3 ≈ 3.33
+}
+
+TEST(EprModel, MultiHopIsSlower) {
+  const EprModel m(0.3);
+  EXPECT_GT(m.expected_rounds(3, 1), m.expected_rounds(1, 1));
+}
+
+// Property sweep: sampled geometric means track 1/q for all (p, hops,
+// pairs) combinations.
+class EprProperty
+    : public ::testing::TestWithParam<std::tuple<double, int, int>> {};
+
+TEST_P(EprProperty, SampleMeanTracksAnalyticMean) {
+  const auto [p, hops, pairs] = GetParam();
+  const EprModel m(p);
+  Rng rng(99);
+  double total = 0.0;
+  constexpr int kRuns = 8000;
+  for (int i = 0; i < kRuns; ++i) {
+    total += m.rounds_until_success(hops, pairs, rng);
+  }
+  const double analytic = m.expected_rounds(hops, pairs);
+  EXPECT_NEAR(total / kRuns, analytic, 0.1 * analytic + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EprProperty,
+                         ::testing::Combine(::testing::Values(0.1, 0.3, 0.5),
+                                            ::testing::Values(1, 2),
+                                            ::testing::Values(1, 3, 5)));
+
+TEST(EventQueue, FifoForEqualTimes) {
+  EventQueue<int> q;
+  q.push(1.0, 10);
+  q.push(1.0, 20);
+  q.push(0.5, 30);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_DOUBLE_EQ(q.next_time(), 0.5);
+  EXPECT_EQ(q.pop().second, 30);
+  EXPECT_EQ(q.pop().second, 10);  // FIFO among the 1.0 events
+  EXPECT_EQ(q.pop().second, 20);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, PopEmptyThrows) {
+  EventQueue<int> q;
+  EXPECT_THROW(q.pop(), std::logic_error);
+  EXPECT_THROW(q.next_time(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cloudqc

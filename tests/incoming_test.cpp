@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "circuit/workloads.hpp"
+#include "core/incoming.hpp"
+#include "graph/topology.hpp"
+
+namespace cloudqc {
+namespace {
+
+QuantumCloud paper_cloud(std::uint64_t seed = 1) {
+  CloudConfig cfg;
+  Rng rng(seed);
+  return QuantumCloud(cfg, rng);
+}
+
+TEST(Incoming, SingleArrivalMeasuresJctFromArrival) {
+  QuantumCloud cloud = paper_cloud();
+  const auto placer = make_cloudqc_placer();
+  const auto alloc = make_cloudqc_allocator();
+  std::vector<ArrivingJob> trace;
+  trace.push_back({gen::ghz(30), 100.0});
+  const auto stats = run_incoming(trace, cloud, *placer, *alloc);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_DOUBLE_EQ(stats[0].arrival, 100.0);
+  EXPECT_DOUBLE_EQ(stats[0].placed_time, 100.0);  // cloud was empty
+  EXPECT_GT(stats[0].completion_time, 100.0);
+  EXPECT_DOUBLE_EQ(stats[0].jct(),
+                   stats[0].completion_time - stats[0].arrival);
+}
+
+TEST(Incoming, WidelySpacedJobsDontQueue) {
+  QuantumCloud cloud = paper_cloud();
+  const auto placer = make_cloudqc_placer();
+  const auto alloc = make_cloudqc_allocator();
+  std::vector<ArrivingJob> trace;
+  trace.push_back({gen::ghz(30), 0.0});
+  trace.push_back({gen::ghz(30), 1e7});  // long after the first finishes
+  const auto stats = run_incoming(trace, cloud, *placer, *alloc);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats[1].placed_time, 1e7);  // no queueing delay
+}
+
+TEST(Incoming, SaturatedCloudQueuesArrivals) {
+  QuantumCloud cloud = paper_cloud(3);
+  const auto placer = make_cloudqc_placer();
+  const auto alloc = make_cloudqc_allocator();
+  // Five 111-qubit jobs arriving back-to-back into a 400-qubit cloud.
+  std::vector<ArrivingJob> trace;
+  for (int i = 0; i < 5; ++i) {
+    trace.push_back({make_workload("qugan_n111"),
+                     static_cast<SimTime>(i)});
+  }
+  const auto stats = run_incoming(trace, cloud, *placer, *alloc);
+  int queued = 0;
+  for (const auto& s : stats) {
+    EXPECT_GE(s.placed_time, s.arrival);
+    EXPECT_GT(s.completion_time, s.placed_time);
+    if (s.placed_time > s.arrival + 1.0) ++queued;
+  }
+  EXPECT_GE(queued, 1);  // at least one arrival had to wait for capacity
+}
+
+TEST(Incoming, ResourcesRestoredAfterTrace) {
+  QuantumCloud cloud = paper_cloud();
+  const int before = cloud.total_free_computing();
+  const auto placer = make_cloudqc_placer();
+  const auto alloc = make_cloudqc_allocator();
+  Rng rng(5);
+  const auto trace =
+      poisson_trace({"ising_n34", "ghz_n127"}, 6, 500.0, rng);
+  run_incoming(trace, cloud, *placer, *alloc);
+  EXPECT_EQ(cloud.total_free_computing(), before);
+}
+
+TEST(Incoming, UnsortedTraceRejected) {
+  QuantumCloud cloud = paper_cloud();
+  const auto placer = make_cloudqc_placer();
+  const auto alloc = make_cloudqc_allocator();
+  std::vector<ArrivingJob> trace;
+  trace.push_back({gen::ghz(10), 10.0});
+  trace.push_back({gen::ghz(10), 5.0});
+  EXPECT_THROW(run_incoming(trace, cloud, *placer, *alloc),
+               std::logic_error);
+}
+
+TEST(Incoming, OversizedJobRejected) {
+  QuantumCloud cloud = paper_cloud();
+  const auto placer = make_cloudqc_placer();
+  const auto alloc = make_cloudqc_allocator();
+  std::vector<ArrivingJob> trace;
+  trace.push_back({gen::ghz(500), 0.0});
+  EXPECT_THROW(run_incoming(trace, cloud, *placer, *alloc),
+               std::logic_error);
+}
+
+TEST(PoissonTrace, SortedWithRequestedLength) {
+  Rng rng(9);
+  const auto trace = poisson_trace({"ising_n34"}, 20, 100.0, rng);
+  ASSERT_EQ(trace.size(), 20u);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].arrival, trace[i - 1].arrival);
+  }
+  EXPECT_GT(trace.front().arrival, 0.0);
+}
+
+TEST(PoissonTrace, MeanGapRoughlyHonoured) {
+  Rng rng(13);
+  const auto trace = poisson_trace({"ising_n34"}, 400, 50.0, rng);
+  const double mean_gap = trace.back().arrival / 400.0;
+  EXPECT_NEAR(mean_gap, 50.0, 10.0);
+}
+
+TEST(Incoming, HigherLoadIncreasesMeanJct) {
+  const auto placer = make_cloudqc_placer();
+  const auto alloc = make_cloudqc_allocator();
+  auto mean_jct = [&](double gap) {
+    QuantumCloud cloud = paper_cloud(11);
+    Rng rng(3);
+    const auto trace = poisson_trace(
+        {"qugan_n71", "knn_n67", "ising_n66"}, 10, gap, rng);
+    const auto stats = run_incoming(trace, cloud, *placer, *alloc, 17);
+    double total = 0.0;
+    for (const auto& s : stats) total += s.jct();
+    return total / static_cast<double>(stats.size());
+  };
+  // Arrivals every 50 time units pile up; every 50k units they don't.
+  EXPECT_GT(mean_jct(50.0), mean_jct(50000.0) * 0.99);
+}
+
+}  // namespace
+}  // namespace cloudqc

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "circuit/workloads.hpp"
+#include "core/multi_tenant.hpp"
+#include "graph/topology.hpp"
+#include "placement/placement.hpp"
+
+namespace cloudqc {
+namespace {
+
+QuantumCloud paper_cloud(std::uint64_t seed = 1) {
+  CloudConfig cfg;  // paper defaults: 20 QPUs, 20 computing + 5 comm qubits
+  Rng rng(seed);
+  return QuantumCloud(cfg, rng);
+}
+
+TEST(MultiTenant, SingleJobRunsToCompletion) {
+  QuantumCloud cloud = paper_cloud();
+  const auto placer = make_cloudqc_placer();
+  const auto alloc = make_cloudqc_allocator();
+  std::vector<Circuit> jobs;
+  jobs.push_back(gen::ghz(30));
+  const auto stats = run_batch(jobs, cloud, *placer, *alloc);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "ghz_n30");
+  EXPECT_GT(stats[0].completion_time, 0.0);
+  EXPECT_DOUBLE_EQ(stats[0].placed_time, 0.0);
+}
+
+TEST(MultiTenant, CloudResourcesRestoredAfterBatch) {
+  QuantumCloud cloud = paper_cloud();
+  const int before = cloud.total_free_computing();
+  const auto placer = make_cloudqc_placer();
+  const auto alloc = make_cloudqc_allocator();
+  std::vector<Circuit> jobs;
+  jobs.push_back(gen::ghz(30));
+  jobs.push_back(gen::knn(67));
+  run_batch(jobs, cloud, *placer, *alloc);
+  EXPECT_EQ(cloud.total_free_computing(), before);
+}
+
+TEST(MultiTenant, OversubscribedBatchSerialises) {
+  // 20 QPUs × 20 qubits = 400; five 111-qubit jobs cannot all be resident.
+  QuantumCloud cloud = paper_cloud(3);
+  const auto placer = make_cloudqc_placer();
+  const auto alloc = make_cloudqc_allocator();
+  std::vector<Circuit> jobs;
+  for (int i = 0; i < 5; ++i) jobs.push_back(make_workload("qugan_n111"));
+  const auto stats = run_batch(jobs, cloud, *placer, *alloc);
+  ASSERT_EQ(stats.size(), 5u);
+  int placed_later = 0;
+  for (const auto& s : stats) {
+    EXPECT_GT(s.completion_time, s.placed_time);
+    if (s.placed_time > 0.0) ++placed_later;
+  }
+  EXPECT_GE(placed_later, 2);  // at least some jobs had to wait
+}
+
+TEST(MultiTenant, JobLargerThanCloudThrows) {
+  QuantumCloud cloud = paper_cloud();
+  const auto placer = make_cloudqc_placer();
+  const auto alloc = make_cloudqc_allocator();
+  std::vector<Circuit> jobs;
+  jobs.push_back(gen::ghz(500));
+  EXPECT_THROW(run_batch(jobs, cloud, *placer, *alloc), std::logic_error);
+}
+
+TEST(MultiTenant, FifoAndImportanceOrdersBothComplete) {
+  QuantumCloud cloud = paper_cloud(5);
+  const auto placer = make_cloudqc_placer();
+  const auto alloc = make_cloudqc_allocator();
+  std::vector<Circuit> jobs;
+  jobs.push_back(gen::ghz(20));
+  jobs.push_back(make_workload("knn_n67"));
+  jobs.push_back(make_workload("ising_n34"));
+
+  MultiTenantOptions fifo;
+  fifo.fifo = true;
+  const auto a = run_batch(jobs, cloud, *placer, *alloc, fifo);
+  MultiTenantOptions smart;
+  smart.fifo = false;
+  const auto b = run_batch(jobs, cloud, *placer, *alloc, smart);
+  ASSERT_EQ(a.size(), 3u);
+  ASSERT_EQ(b.size(), 3u);
+  for (const auto& s : a) EXPECT_GT(s.completion_time, 0.0);
+  for (const auto& s : b) EXPECT_GT(s.completion_time, 0.0);
+}
+
+TEST(MultiTenant, DeterministicForSeed) {
+  const auto placer = make_cloudqc_placer();
+  const auto alloc = make_cloudqc_allocator();
+  std::vector<Circuit> jobs;
+  jobs.push_back(make_workload("knn_n67"));
+  jobs.push_back(make_workload("ising_n66"));
+  MultiTenantOptions opt;
+  opt.seed = 99;
+  auto run_once = [&] {
+    QuantumCloud cloud = paper_cloud(7);
+    return run_batch(jobs, cloud, *placer, *alloc, opt);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].completion_time, b[i].completion_time);
+  }
+}
+
+TEST(MultiTenant, StatsCarryPlacementMetadata) {
+  QuantumCloud cloud = paper_cloud();
+  const auto placer = make_cloudqc_placer();
+  const auto alloc = make_cloudqc_allocator();
+  std::vector<Circuit> jobs;
+  jobs.push_back(make_workload("qugan_n71"));
+  const auto stats = run_batch(jobs, cloud, *placer, *alloc);
+  EXPECT_GE(stats[0].qpus_used, 4);  // 71 qubits on 20-qubit QPUs
+  EXPECT_GT(stats[0].remote_ops, 0u);
+}
+
+}  // namespace
+}  // namespace cloudqc

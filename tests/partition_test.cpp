@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "graph/topology.hpp"
+#include "partition/partitioner.hpp"
+
+namespace cloudqc {
+namespace {
+
+/// Two dense cliques joined by a single light edge — any sane bisection
+/// must cut exactly that edge.
+Graph two_cliques(NodeId half) {
+  Graph g(2 * half);
+  for (NodeId u = 0; u < half; ++u) {
+    for (NodeId v = u + 1; v < half; ++v) {
+      g.add_edge(u, v, 10.0);
+      g.add_edge(half + u, half + v, 10.0);
+    }
+  }
+  g.add_edge(0, half, 1.0);
+  return g;
+}
+
+TEST(Partition, TwoCliquesBisectPerfectly) {
+  const Graph g = two_cliques(8);
+  PartitionOptions opt;
+  opt.num_parts = 2;
+  opt.imbalance = 0.1;
+  const auto res = partition_graph(g, opt);
+  EXPECT_DOUBLE_EQ(res.edge_cut, 1.0);
+  // Each clique must land entirely in one part.
+  for (NodeId u = 1; u < 8; ++u) {
+    EXPECT_EQ(res.part[static_cast<std::size_t>(u)], res.part[0]);
+    EXPECT_EQ(res.part[static_cast<std::size_t>(8 + u)], res.part[8]);
+  }
+  EXPECT_NE(res.part[0], res.part[8]);
+}
+
+TEST(Partition, SinglePartIsTrivial) {
+  const Graph g = two_cliques(4);
+  PartitionOptions opt;
+  opt.num_parts = 1;
+  const auto res = partition_graph(g, opt);
+  EXPECT_DOUBLE_EQ(res.edge_cut, 0.0);
+  for (int p : res.part) EXPECT_EQ(p, 0);
+}
+
+TEST(Partition, EmptyGraph) {
+  Graph g;
+  PartitionOptions opt;
+  opt.num_parts = 3;
+  const auto res = partition_graph(g, opt);
+  EXPECT_TRUE(res.part.empty());
+  EXPECT_EQ(res.part_weights.size(), 3u);
+}
+
+TEST(Partition, EdgelessGraphStillBalances) {
+  Graph g(12);  // no edges at all (e.g. a circuit with no 2q gates)
+  PartitionOptions opt;
+  opt.num_parts = 4;
+  opt.imbalance = 0.0;
+  const auto res = partition_graph(g, opt);
+  EXPECT_DOUBLE_EQ(res.edge_cut, 0.0);
+  for (double w : res.part_weights) EXPECT_DOUBLE_EQ(w, 3.0);
+}
+
+TEST(Partition, RespectsNodeWeights) {
+  Graph g(4);
+  g.set_node_weight(0, 10.0);
+  g.set_node_weight(1, 1.0);
+  g.set_node_weight(2, 1.0);
+  g.set_node_weight(3, 1.0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  PartitionOptions opt;
+  opt.num_parts = 2;
+  opt.imbalance = 0.8;
+  const auto res = partition_graph(g, opt);
+  // The heavy node must sit alone-ish: max part weight <= (1+0.8)*13/2.
+  const double ceiling = 1.8 * 13.0 / 2.0;
+  for (double w : res.part_weights) EXPECT_LE(w, ceiling + 1e-9);
+}
+
+TEST(EdgeCut, ComputedOverLabels) {
+  Graph g(4);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(2, 3, 3.0);
+  g.add_edge(1, 2, 5.0);
+  EXPECT_DOUBLE_EQ(edge_cut(g, {0, 0, 1, 1}), 5.0);
+  // Under {0,1,0,1} all three edges cross.
+  EXPECT_DOUBLE_EQ(edge_cut(g, {0, 1, 0, 1}), 2.0 + 3.0 + 5.0);
+  EXPECT_DOUBLE_EQ(edge_cut(g, {0, 0, 0, 0}), 0.0);
+}
+
+TEST(PartWeights, SumsNodeWeights) {
+  Graph g(3);
+  g.set_node_weight(2, 4.0);
+  const auto w = part_weights(g, {0, 1, 1}, 3);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 5.0);
+  EXPECT_DOUBLE_EQ(w[2], 0.0);
+}
+
+// Property sweep over sizes, part counts and imbalance factors: every
+// partition must (a) label every node in range, (b) keep every part
+// non-empty when k <= n, and (c) respect the balance ceiling.
+class PartitionProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(PartitionProperty, Invariants) {
+  const auto [n, k, eps] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 1000 + k));
+  const Graph g = random_topology(n, 0.2, rng);
+  PartitionOptions opt;
+  opt.num_parts = k;
+  opt.imbalance = eps;
+  opt.seed = 99;
+  const auto res = partition_graph(g, opt);
+
+  ASSERT_EQ(res.part.size(), static_cast<std::size_t>(n));
+  std::set<int> used;
+  for (int p : res.part) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, k);
+    used.insert(p);
+  }
+  if (n >= k) {
+    EXPECT_EQ(static_cast<int>(used.size()), k) << "empty part produced";
+  }
+  // Balance: the ceiling is advisory during refinement; allow one node of
+  // slack for small graphs where perfect balance is impossible.
+  const double ceiling = (1.0 + eps) * n / k + 1.0;
+  for (double w : res.part_weights) EXPECT_LE(w, ceiling);
+  // Reported cut must match a recomputation.
+  EXPECT_DOUBLE_EQ(res.edge_cut, edge_cut(g, res.part));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionProperty,
+    ::testing::Combine(::testing::Values(8, 30, 64, 129),
+                       ::testing::Values(2, 3, 5, 8),
+                       ::testing::Values(0.05, 0.2, 0.5)));
+
+TEST(Partition, DeterministicForSeed) {
+  Rng rng(5);
+  const Graph g = random_topology(40, 0.3, rng);
+  PartitionOptions opt;
+  opt.num_parts = 4;
+  opt.seed = 1234;
+  const auto a = partition_graph(g, opt);
+  const auto b = partition_graph(g, opt);
+  EXPECT_EQ(a.part, b.part);
+  EXPECT_DOUBLE_EQ(a.edge_cut, b.edge_cut);
+}
+
+TEST(Partition, LowerImbalanceNeverBeatsLooserOnBalance) {
+  Rng rng(8);
+  const Graph g = random_topology(60, 0.2, rng);
+  PartitionOptions tight;
+  tight.num_parts = 4;
+  tight.imbalance = 0.02;
+  const auto t = partition_graph(g, tight);
+  const double tight_ceiling = 1.02 * 60.0 / 4 + 1.0;
+  for (double w : t.part_weights) EXPECT_LE(w, tight_ceiling);
+}
+
+}  // namespace
+}  // namespace cloudqc

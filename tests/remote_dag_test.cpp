@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "circuit/workloads.hpp"
+#include "cloud/cloud.hpp"
+#include "graph/topology.hpp"
+#include "schedule/remote_dag.hpp"
+
+namespace cloudqc {
+namespace {
+
+QuantumCloud make_cloud(int qpus = 3) {
+  CloudConfig cfg;
+  cfg.num_qpus = qpus;
+  cfg.computing_qubits_per_qpu = 50;
+  return QuantumCloud(cfg, ring_topology(qpus));
+}
+
+TEST(RemoteDag, NoRemoteGatesWhenColocated) {
+  const auto cloud = make_cloud();
+  Circuit c("t", 3);
+  c.cx(0, 1);
+  c.cx(1, 2);
+  const CircuitDag dag(c);
+  const RemoteDag rd(c, dag, {0, 0, 0}, cloud);
+  EXPECT_EQ(rd.num_ops(), 0u);
+  EXPECT_TRUE(rd.front_layer().empty());
+}
+
+TEST(RemoteDag, ExtractsOnlyCrossQpuGates) {
+  const auto cloud = make_cloud();
+  Circuit c("t", 4);
+  c.cx(0, 1);  // local (both on QPU 0)
+  c.cx(1, 2);  // remote 0-1
+  c.cx(2, 3);  // local (both on QPU 1)
+  c.cx(0, 3);  // remote 0-1
+  const CircuitDag dag(c);
+  const RemoteDag rd(c, dag, {0, 0, 1, 1}, cloud);
+  ASSERT_EQ(rd.num_ops(), 2u);
+  EXPECT_EQ(rd.op(0).gate_index, 1);
+  EXPECT_EQ(rd.op(1).gate_index, 3);
+  EXPECT_EQ(rd.op(0).hops, 1);
+}
+
+TEST(RemoteDag, DependencyThroughLocalGates) {
+  const auto cloud = make_cloud();
+  Circuit c("t", 3);
+  c.cx(0, 1);  // remote A (qubits on QPU 0 / 1)
+  c.h(1);      // local in between
+  c.cx(1, 2);  // remote B — depends on A through the H gate
+  const CircuitDag dag(c);
+  const RemoteDag rd(c, dag, {0, 1, 2}, cloud);
+  ASSERT_EQ(rd.num_ops(), 2u);
+  EXPECT_EQ(rd.successors(0), std::vector<int>{1});
+  EXPECT_EQ(rd.predecessors(1), std::vector<int>{0});
+  EXPECT_EQ(rd.front_layer(), std::vector<int>{0});
+}
+
+TEST(RemoteDag, IndependentRemoteGatesBothInFrontLayer) {
+  const auto cloud = make_cloud();
+  Circuit c("t", 4);
+  c.cx(0, 2);  // remote, qubits 0,2
+  c.cx(1, 3);  // remote, disjoint qubits — independent
+  const CircuitDag dag(c);
+  const RemoteDag rd(c, dag, {0, 0, 1, 1}, cloud);
+  ASSERT_EQ(rd.num_ops(), 2u);
+  EXPECT_EQ(rd.front_layer(), (std::vector<int>{0, 1}));
+  EXPECT_TRUE(rd.successors(0).empty());
+}
+
+TEST(RemoteDag, PrioritiesAreLongestPathToLeaf) {
+  const auto cloud = make_cloud();
+  // Chain of three remote gates on one wire pair + one isolated remote.
+  Circuit c("t", 6);
+  c.cx(0, 2);  // node 0
+  c.cx(0, 2);  // node 1
+  c.cx(0, 2);  // node 2
+  c.cx(1, 3);  // node 3, independent
+  const CircuitDag dag(c);
+  const RemoteDag rd(c, dag, {0, 0, 1, 1, 2, 2}, cloud);
+  const auto prio = rd.priorities();
+  ASSERT_EQ(prio.size(), 4u);
+  EXPECT_EQ(prio[0], 2);
+  EXPECT_EQ(prio[1], 1);
+  EXPECT_EQ(prio[2], 0);
+  EXPECT_EQ(prio[3], 0);
+}
+
+TEST(RemoteDag, CriticalGateOutranksSideBranch) {
+  // The paper's Fig. 3 motivation: a gate feeding a long remote chain must
+  // receive a higher priority than a leaf-ish gate sharing its QPU.
+  const auto cloud = make_cloud();
+  Circuit c("t", 8);
+  c.cx(0, 4);  // node 0: head of long chain
+  c.cx(0, 4);  // node 1
+  c.cx(0, 4);  // node 2
+  c.cx(0, 4);  // node 3
+  c.cx(1, 5);  // node 4: isolated side gate
+  const CircuitDag dag(c);
+  const RemoteDag rd(c, dag, {0, 0, 0, 0, 1, 1, 2, 2}, cloud);
+  const auto prio = rd.priorities();
+  EXPECT_GT(prio[0], prio[4]);
+}
+
+TEST(RemoteDag, HopsReflectTopologyDistance) {
+  const auto cloud = make_cloud(5);  // ring of 5
+  Circuit c("t", 2);
+  c.cx(0, 1);
+  const CircuitDag dag(c);
+  const RemoteDag rd(c, dag, {0, 2}, cloud);
+  ASSERT_EQ(rd.num_ops(), 1u);
+  EXPECT_EQ(rd.op(0).hops, 2);
+}
+
+TEST(RemoteDag, DiamondDependenciesDeduplicated) {
+  const auto cloud = make_cloud();
+  // Remote A fans out through two local branches that reconverge on
+  // remote B: the edge A→B must appear exactly once.
+  Circuit c("t", 4);
+  c.cx(0, 2);  // A remote (QPU 0-1)
+  c.h(0);      // branch 1
+  c.h(2);      // branch 2
+  c.cx(0, 2);  // B remote
+  const CircuitDag dag(c);
+  const RemoteDag rd(c, dag, {0, 0, 1, 1}, cloud);
+  ASSERT_EQ(rd.num_ops(), 2u);
+  EXPECT_EQ(rd.successors(0).size(), 1u);
+  EXPECT_EQ(rd.predecessors(1).size(), 1u);
+}
+
+TEST(RemoteDag, ScalesToLargeCircuits) {
+  // qft_n160 under a scattered placement: the frontier propagation must
+  // handle ~50k gates in reasonable time (this is the perf regression
+  // guard for the sorted-merge implementation).
+  const Circuit c = make_workload("qft_n160");
+  CloudConfig cfg;
+  cfg.num_qpus = 20;
+  QuantumCloud cloud(cfg, ring_topology(20));
+  std::vector<QpuId> map(static_cast<std::size_t>(c.num_qubits()));
+  for (std::size_t q = 0; q < map.size(); ++q) {
+    map[q] = static_cast<QpuId>(q % 20);
+  }
+  const CircuitDag dag(c);
+  const RemoteDag rd(c, dag, map, cloud);
+  EXPECT_GT(rd.num_ops(), 10000u);
+  const auto prio = rd.priorities();
+  int max_prio = 0;
+  for (int p : prio) max_prio = std::max(max_prio, p);
+  EXPECT_GT(max_prio, 50);
+}
+
+}  // namespace
+}  // namespace cloudqc

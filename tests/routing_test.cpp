@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/topology.hpp"
+#include "schedule/routing.hpp"
+#include "sim/network_sim.hpp"
+
+namespace cloudqc {
+namespace {
+
+QuantumCloud ring_cloud(int n, int comm = 5) {
+  CloudConfig cfg;
+  cfg.num_qpus = n;
+  cfg.computing_qubits_per_qpu = 50;
+  cfg.comm_qubits_per_qpu = comm;
+  return QuantumCloud(cfg, ring_topology(n));
+}
+
+std::vector<int> full_comm(const QuantumCloud& cloud) {
+  std::vector<int> free;
+  for (QpuId q = 0; q < cloud.num_qpus(); ++q) {
+    free.push_back(cloud.qpu(q).comm_capacity());
+  }
+  return free;
+}
+
+TEST(ShortestPathRouter, DirectNeighbour) {
+  const auto cloud = ring_cloud(6);
+  const auto router = make_shortest_path_router();
+  const auto path = router->route(cloud, 0, 1, full_comm(cloud));
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->nodes, (std::vector<QpuId>{0, 1}));
+  EXPECT_EQ(path->hops(), 1);
+}
+
+TEST(ShortestPathRouter, TakesShorterArc) {
+  const auto cloud = ring_cloud(6);
+  const auto router = make_shortest_path_router();
+  const auto path = router->route(cloud, 0, 2, full_comm(cloud));
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->hops(), 2);
+  EXPECT_EQ(path->nodes.front(), 0);
+  EXPECT_EQ(path->nodes.back(), 2);
+}
+
+TEST(ShortestPathRouter, IgnoresCongestion) {
+  const auto cloud = ring_cloud(6);
+  const auto router = make_shortest_path_router();
+  auto free = full_comm(cloud);
+  free[1] = 0;  // hot node on the short arc 0-1-2
+  const auto path = router->route(cloud, 0, 2, free);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->hops(), 2);  // still goes through node 1
+}
+
+TEST(CongestionAwareRouter, DetoursAroundSaturatedNode) {
+  const auto cloud = ring_cloud(6);
+  const auto router = make_congestion_aware_router();
+  auto free = full_comm(cloud);
+  free[1] = 0;  // saturated swap node on the short arc
+  const auto path = router->route(cloud, 0, 2, free);
+  ASSERT_TRUE(path.has_value());
+  // Long arc 0-5-4-3-2 (4 hops) avoids the dead intermediate.
+  EXPECT_EQ(path->hops(), 4);
+  for (const QpuId q : path->nodes) EXPECT_NE(q, 1);
+}
+
+TEST(CongestionAwareRouter, PrefersShortPathWhenUniform) {
+  const auto cloud = ring_cloud(8);
+  const auto router = make_congestion_aware_router();
+  const auto path = router->route(cloud, 0, 3, full_comm(cloud));
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->hops(), 3);
+}
+
+TEST(CongestionAwareRouter, FallsBackWhenAllPathsSaturated) {
+  const auto cloud = ring_cloud(6);
+  const auto router = make_congestion_aware_router();
+  std::vector<int> free(6, 0);  // everything saturated
+  const auto path = router->route(cloud, 0, 3, free);
+  ASSERT_TRUE(path.has_value());  // falls back to shortest rather than fail
+  EXPECT_EQ(path->hops(), 3);
+}
+
+TEST(CongestionAwareRouter, BalancesLoadProportionally) {
+  // Two 2-hop arcs between 0 and 2 on a 4-ring: via 1 or via 3. The router
+  // must pick the colder intermediate.
+  const auto cloud = ring_cloud(4);
+  const auto router = make_congestion_aware_router();
+  auto free = full_comm(cloud);
+  free[1] = 1;
+  free[3] = 5;
+  const auto path = router->route(cloud, 0, 2, free);
+  ASSERT_TRUE(path.has_value());
+  ASSERT_EQ(path->hops(), 2);
+  EXPECT_EQ(path->nodes[1], 3);
+}
+
+TEST(KShortestPaths, EnumeratesDistinctLoopFreePaths) {
+  const Graph topo = ring_topology(6);
+  const auto paths = k_shortest_paths(topo, 0, 3, 3);
+  ASSERT_EQ(paths.size(), 2u);  // a 6-ring has exactly two disjoint paths
+  EXPECT_EQ(paths[0].hops(), 3);
+  EXPECT_EQ(paths[1].hops(), 3);
+  EXPECT_NE(paths[0].nodes, paths[1].nodes);
+  for (const auto& p : paths) {
+    std::set<QpuId> uniq(p.nodes.begin(), p.nodes.end());
+    EXPECT_EQ(uniq.size(), p.nodes.size());  // loop-free
+    EXPECT_EQ(p.nodes.front(), 0);
+    EXPECT_EQ(p.nodes.back(), 3);
+  }
+}
+
+TEST(KShortestPaths, OrderedByLength) {
+  Graph topo(5);
+  topo.add_edge(0, 1);
+  topo.add_edge(1, 4);      // 2-hop path
+  topo.add_edge(0, 2);
+  topo.add_edge(2, 3);
+  topo.add_edge(3, 4);      // 3-hop path
+  const auto paths = k_shortest_paths(topo, 0, 4, 5);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_LE(paths[0].hops(), paths[1].hops());
+}
+
+TEST(KShortestPaths, NoPathReturnsEmpty) {
+  Graph topo(3);
+  topo.add_edge(0, 1);
+  EXPECT_TRUE(k_shortest_paths(topo, 0, 2, 3).empty());
+}
+
+TEST(RoutedSimulation, IntermediateNodesHoldQubits) {
+  // Ring of 4, remote op 0→2 must pass one intermediate. With routing
+  // enabled the run still completes and consumes EPR rounds.
+  const auto cloud = ring_cloud(4, 3);
+  const auto alloc = make_cloudqc_allocator();
+  const auto router = make_congestion_aware_router();
+  Circuit c("t", 2);
+  c.cx(0, 1);
+  NetworkSimulator sim(cloud, *alloc, Rng(3), router.get());
+  sim.add_job(c, {0, 2});
+  const auto done = sim.run_to_completion();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_GT(done[0].time, 0.0);
+  EXPECT_GE(sim.total_epr_rounds(), 1u);
+}
+
+TEST(RoutedSimulation, ManyContendingMultiHopOpsComplete) {
+  const auto cloud = ring_cloud(8, 2);
+  const auto alloc = make_cloudqc_allocator();
+  const auto router = make_congestion_aware_router();
+  Circuit c("t", 8);
+  for (int r = 0; r < 5; ++r) {
+    for (QubitId q = 0; q < 4; ++q) c.cx(q, q + 4);
+  }
+  // Qubit q on QPU q: ops span 4 hops across the ring.
+  NetworkSimulator sim(cloud, *alloc, Rng(9), router.get());
+  sim.add_job(c, {0, 1, 2, 3, 4, 5, 6, 7});
+  const auto done = sim.run_to_completion();
+  ASSERT_EQ(done.size(), 1u);
+}
+
+TEST(RoutedSimulation, DeterministicForSeed) {
+  const auto cloud = ring_cloud(6, 2);
+  const auto alloc = make_average_allocator();
+  const auto router = make_congestion_aware_router();
+  Circuit c("t", 6);
+  for (int r = 0; r < 3; ++r) {
+    for (QubitId q = 0; q < 3; ++q) c.cx(q, q + 3);
+  }
+  auto run = [&] {
+    NetworkSimulator sim(cloud, *alloc, Rng(7), router.get());
+    sim.add_job(c, {0, 1, 2, 3, 4, 5});
+    return sim.run_to_completion()[0].time;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(Routers, Names) {
+  EXPECT_EQ(make_shortest_path_router()->name(), "shortest-path");
+  EXPECT_EQ(make_congestion_aware_router()->name(), "congestion-aware");
+}
+
+}  // namespace
+}  // namespace cloudqc

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/topology.hpp"
+
+namespace cloudqc {
+namespace {
+
+int num_components(const Graph& g) {
+  int k = 0;
+  for (int c : connected_components(g)) k = std::max(k, c + 1);
+  return k;
+}
+
+// Property sweep: random topologies must always come out connected, for any
+// edge probability and size.
+class RandomTopologyProperty
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(RandomTopologyProperty, AlwaysConnected) {
+  const auto [n, p] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const Graph g = random_topology(n, p, rng);
+    EXPECT_EQ(g.num_nodes(), n);
+    EXPECT_EQ(num_components(g), 1) << "n=" << n << " p=" << p
+                                    << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomTopologyProperty,
+    ::testing::Combine(::testing::Values(1, 2, 5, 20, 50),
+                       ::testing::Values(0.0, 0.1, 0.3, 0.9)));
+
+TEST(RandomTopology, EdgeProbabilityShapesDensity) {
+  Rng rng(42);
+  const Graph sparse = random_topology(40, 0.1, rng);
+  const Graph dense = random_topology(40, 0.8, rng);
+  EXPECT_LT(sparse.num_edges(), dense.num_edges());
+  // Dense should be near the complete-graph edge count.
+  EXPECT_GT(static_cast<double>(dense.num_edges()), 0.6 * (40 * 39 / 2));
+}
+
+TEST(RandomTopology, DeterministicGivenRngState) {
+  Rng a(7), b(7);
+  const Graph g1 = random_topology(15, 0.3, a);
+  const Graph g2 = random_topology(15, 0.3, b);
+  ASSERT_EQ(g1.num_edges(), g2.num_edges());
+  for (NodeId u = 0; u < 15; ++u) {
+    for (NodeId v = 0; v < 15; ++v) {
+      EXPECT_EQ(g1.has_edge(u, v), g2.has_edge(u, v));
+    }
+  }
+}
+
+TEST(GridTopology, SizesAndDegrees) {
+  const Graph g = grid_topology(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12);
+  // 2D mesh edge count: r*(c-1) + c*(r-1).
+  EXPECT_EQ(g.num_edges(), 3u * 3u + 4u * 2u);
+  EXPECT_EQ(num_components(g), 1);
+  // Corner has degree 2.
+  EXPECT_EQ(g.neighbors(0).size(), 2u);
+}
+
+TEST(RingTopology, CycleProperties) {
+  const Graph g = ring_topology(6);
+  EXPECT_EQ(g.num_edges(), 6u);
+  for (NodeId u = 0; u < 6; ++u) EXPECT_EQ(g.neighbors(u).size(), 2u);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[3], 3);  // antipode
+}
+
+TEST(RingTopology, DegeneratesToPathBelowThree) {
+  EXPECT_EQ(ring_topology(2).num_edges(), 1u);
+  EXPECT_EQ(ring_topology(1).num_edges(), 0u);
+}
+
+TEST(StarTopology, HubAndLeaves) {
+  const Graph g = star_topology(7);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.neighbors(0).size(), 6u);
+  for (NodeId u = 1; u < 7; ++u) EXPECT_EQ(g.neighbors(u).size(), 1u);
+}
+
+TEST(CompleteTopology, AllPairs) {
+  const Graph g = complete_topology(5);
+  EXPECT_EQ(g.num_edges(), 10u);
+  const auto d = bfs_distances(g, 2);
+  for (NodeId u = 0; u < 5; ++u) EXPECT_LE(d[static_cast<std::size_t>(u)], 1);
+}
+
+}  // namespace
+}  // namespace cloudqc
