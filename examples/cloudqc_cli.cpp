@@ -8,6 +8,7 @@
 //   cloudqc_cli place <circuit> [options]
 //   cloudqc_cli schedule <circuit> [options]
 //   cloudqc_cli batch <circuit> [<circuit> ...] [options]
+//   cloudqc_cli parbatch <circuit> [<circuit> ...] [options]
 //
 // Common options:
 //   --qpus N         number of QPUs              (default 20)
@@ -16,10 +17,13 @@
 //   --epr P          EPR success probability     (default 0.3)
 //   --topology T     random|ring|grid|star|full  (default random)
 //   --seed S         RNG seed                    (default 1)
-//   --placer X       cloudqc|bfs|random|sa|ga    (default cloudqc)
+//   --placer X       cloudqc|bfs|random|sa|ga|race (default cloudqc)
 //   --allocator X    cloudqc|greedy|average|random (default cloudqc)
 //   --runs R         stochastic runs for schedule (default 10)
 //   --fifo           batch: FIFO order instead of the importance metric
+//   --threads N      worker threads for parbatch and the "race" placer
+//                    (default: all hardware threads; results are
+//                    bit-identical for any N at a fixed --seed)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +32,7 @@
 #include <vector>
 
 #include "common/csv.hpp"
+#include "common/thread_pool.hpp"
 #include "core/cloudqc.hpp"
 #include "graph/topology.hpp"
 
@@ -46,12 +51,14 @@ struct Options {
   std::string allocator = "cloudqc";
   int runs = 10;
   bool fifo = false;
+  int threads = 0;  // 0 = all hardware threads
   std::vector<std::string> positional;
 };
 
 [[noreturn]] void usage_and_exit() {
   std::fprintf(stderr,
-               "usage: cloudqc_cli <workloads|qasm|place|schedule|batch> "
+               "usage: cloudqc_cli <workloads|qasm|place|schedule|batch|"
+               "parbatch> "
                "[args] [options]\n(see the header of examples/cloudqc_cli.cpp "
                "for the full option list)\n");
   std::exit(2);
@@ -85,6 +92,8 @@ Options parse_options(int argc, char** argv, int first) {
       opt.runs = std::atoi(next());
     } else if (arg == "--fifo") {
       opt.fifo = true;
+    } else if (arg == "--threads") {
+      opt.threads = std::atoi(next());
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       usage_and_exit();
@@ -125,14 +134,25 @@ QuantumCloud make_cloud(const Options& opt) {
   return QuantumCloud(cfg, std::move(topo));
 }
 
-std::unique_ptr<Placer> make_placer(const std::string& name) {
+std::unique_ptr<Placer> make_placer(const std::string& name,
+                                    ThreadPool* pool = nullptr) {
   if (name == "cloudqc") return make_cloudqc_placer();
   if (name == "bfs") return make_cloudqc_bfs_placer();
   if (name == "random") return make_random_placer();
   if (name == "sa") return make_annealing_placer();
   if (name == "ga") return make_genetic_placer();
+  if (name == "race") return make_default_racing_placer({}, pool);
   std::fprintf(stderr, "unknown placer '%s'\n", name.c_str());
   usage_and_exit();
+}
+
+/// Pool for the "race" placer, sized by --threads. Null — no threads
+/// started — unless racing was requested with more than one thread.
+std::unique_ptr<ThreadPool> make_race_pool(const Options& opt) {
+  const int n = opt.threads <= 0 ? ThreadPool::default_num_threads()
+                                 : opt.threads;
+  if (opt.placer != "race" || n <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(n);
 }
 
 std::unique_ptr<CommAllocator> make_allocator(const std::string& name) {
@@ -183,7 +203,8 @@ int cmd_place(const Options& opt) {
   if (opt.positional.empty()) usage_and_exit();
   QuantumCloud cloud = make_cloud(opt);
   const Circuit c = load_circuit(opt.positional[0]);
-  const auto placer = make_placer(opt.placer);
+  const auto pool = make_race_pool(opt);
+  const auto placer = make_placer(opt.placer, pool.get());
   Rng rng(opt.seed + 17);
   const auto p = placer->place(c, cloud, rng);
   if (!p.has_value()) {
@@ -209,7 +230,8 @@ int cmd_schedule(const Options& opt) {
   if (opt.positional.empty()) usage_and_exit();
   QuantumCloud cloud = make_cloud(opt);
   const Circuit c = load_circuit(opt.positional[0]);
-  const auto placer = make_placer(opt.placer);
+  const auto pool = make_race_pool(opt);
+  const auto placer = make_placer(opt.placer, pool.get());
   const auto alloc = make_allocator(opt.allocator);
   Rng rng(opt.seed + 17);
   const auto p = placer->place(c, cloud, rng);
@@ -240,7 +262,8 @@ int cmd_batch(const Options& opt) {
   QuantumCloud cloud = make_cloud(opt);
   std::vector<Circuit> jobs;
   for (const auto& name : opt.positional) jobs.push_back(load_circuit(name));
-  const auto placer = make_placer(opt.placer);
+  const auto pool = make_race_pool(opt);
+  const auto placer = make_placer(opt.placer, pool.get());
   const auto alloc = make_allocator(opt.allocator);
   MultiTenantOptions mt;
   mt.fifo = opt.fifo;
@@ -262,6 +285,40 @@ int cmd_batch(const Options& opt) {
   return 0;
 }
 
+int cmd_parbatch(const Options& opt) {
+  if (opt.positional.empty()) usage_and_exit();
+  const QuantumCloud cloud = make_cloud(opt);
+  std::vector<Circuit> jobs;
+  for (const auto& name : opt.positional) jobs.push_back(load_circuit(name));
+  ParallelExecutor executor(opt.threads);
+  // A "race" placer shares the executor's workers: fired from inside a job
+  // task, its parallel_for runs inline, so no second pool is needed.
+  const auto placer = make_placer(opt.placer, executor.pool());
+  const auto alloc = make_allocator(opt.allocator);
+  const auto results =
+      executor.run_independent(jobs, cloud, *placer, *alloc, opt.seed);
+  TextTable table({"job", "completed", "QPUs", "remote ops", "est. fidelity"});
+  std::vector<double> jct;
+  for (const auto& r : results) {
+    if (!r.placed) {
+      table.add_row({r.name, "UNPLACEABLE", "-", "-", "-"});
+      continue;
+    }
+    table.add_row({r.name, fmt_double(r.completion_time, 1),
+                   std::to_string(r.qpus_used), std::to_string(r.remote_ops),
+                   fmt_double(r.est_fidelity, 4)});
+    jct.push_back(r.completion_time);
+  }
+  emit(table);
+  if (!jct.empty()) {
+    std::printf(
+        "\n%zu independent jobs on %d worker thread(s): mean JCT %.1f, "
+        "max %.1f\n",
+        results.size(), executor.num_threads(), mean(jct), maximum(jct));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -274,6 +331,7 @@ int main(int argc, char** argv) {
     if (cmd == "place") return cmd_place(opt);
     if (cmd == "schedule") return cmd_schedule(opt);
     if (cmd == "batch") return cmd_batch(opt);
+    if (cmd == "parbatch") return cmd_parbatch(opt);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -15,6 +15,26 @@
 
 namespace cloudqc {
 
+/// One splitmix64 mixing step: hashes any 64-bit value into a well-mixed
+/// 64-bit value. Used to derive independent seeds for parallel workers.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Seed of the `stream`-th independent RNG stream derived from `seed`.
+///
+/// This is the determinism keystone of the parallel batch engine: every
+/// parallel task seeds a private Rng with stream_seed(batch_seed, task
+/// index), so results depend only on (seed, index) — never on which worker
+/// thread ran the task or in what order — and parallel runs are
+/// bit-identical to serial ones.
+constexpr std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream) {
+  return splitmix64(seed ^ splitmix64(stream + 0x6A09E667F3BCC909ull));
+}
+
 /// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
 /// implementation), seeded via splitmix64. Satisfies
 /// std::uniform_random_bit_generator.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/thread_pool.hpp"
+
 namespace cloudqc {
 
 double job_importance(const Circuit& circuit, const BatchWeights& w) {
@@ -10,12 +12,23 @@ double job_importance(const Circuit& circuit, const BatchWeights& w) {
          w.lambda2 * circuit.num_qubits() + w.lambda3 * circuit.depth();
 }
 
-std::vector<std::size_t> batch_order(const std::vector<Circuit>& jobs,
-                                     const BatchWeights& w) {
+std::vector<double> job_importances(const std::vector<Circuit>& jobs,
+                                    const BatchWeights& w, ThreadPool* pool) {
   std::vector<double> importance(jobs.size());
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
+  auto score = [&](std::size_t i) {
     importance[i] = job_importance(jobs[i], w);
+  };
+  if (pool != nullptr && jobs.size() > 1) {
+    pool->parallel_for(jobs.size(), score);
+  } else {
+    for (std::size_t i = 0; i < jobs.size(); ++i) score(i);
   }
+  return importance;
+}
+
+std::vector<std::size_t> batch_order(const std::vector<Circuit>& jobs,
+                                     const BatchWeights& w, ThreadPool* pool) {
+  const std::vector<double> importance = job_importances(jobs, w, pool);
   std::vector<std::size_t> order(jobs.size());
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(),

@@ -12,6 +12,8 @@
 
 namespace cloudqc {
 
+class ThreadPool;
+
 struct BatchWeights {
   double lambda1 = 1.0;   // 2-qubit-gate density
   double lambda2 = 0.5;   // qubit count (resource footprint)
@@ -21,10 +23,18 @@ struct BatchWeights {
 /// The metric I_i for one circuit.
 double job_importance(const Circuit& circuit, const BatchWeights& w = {});
 
+/// I_i for every circuit. Scores are independent per job, so when `pool`
+/// is non-null they are computed across its workers — the result is
+/// identical to the serial computation.
+std::vector<double> job_importances(const std::vector<Circuit>& jobs,
+                                    const BatchWeights& w = {},
+                                    ThreadPool* pool = nullptr);
+
 /// Indices of `jobs` in CloudQC batch order (descending importance; ties
 /// keep submission order).
 std::vector<std::size_t> batch_order(const std::vector<Circuit>& jobs,
-                                     const BatchWeights& w = {});
+                                     const BatchWeights& w = {},
+                                     ThreadPool* pool = nullptr);
 
 /// Indices in plain submission order (the CloudQC-FIFO baseline).
 std::vector<std::size_t> fifo_order(std::size_t num_jobs);

@@ -16,6 +16,7 @@
 #include "core/batch_manager.hpp"   // IWYU pragma: export
 #include "core/incoming.hpp"        // IWYU pragma: export
 #include "core/multi_tenant.hpp"    // IWYU pragma: export
+#include "core/parallel_executor.hpp"  // IWYU pragma: export
 #include "metrics/stats.hpp"        // IWYU pragma: export
 #include "placement/cost.hpp"       // IWYU pragma: export
 #include "placement/placement.hpp"  // IWYU pragma: export

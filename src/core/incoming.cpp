@@ -18,11 +18,7 @@ std::vector<IncomingJobStats> run_incoming(const std::vector<ArrivingJob>& jobs,
                                            const CommAllocator& allocator,
                                            std::uint64_t seed) {
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    if (jobs[i].circuit.num_qubits() >
-        cloud.num_qpus() * cloud.config().computing_qubits_per_qpu) {
-      throw std::logic_error("job '" + jobs[i].circuit.name() +
-                             "' exceeds total cloud capacity");
-    }
+    check_fits_cloud(jobs[i].circuit, cloud);
     if (i > 0) {
       CLOUDQC_CHECK_MSG(jobs[i].arrival >= jobs[i - 1].arrival,
                         "arrival trace must be sorted by time");

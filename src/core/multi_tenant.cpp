@@ -9,18 +9,20 @@
 
 namespace cloudqc {
 
+void check_fits_cloud(const Circuit& circuit, const QuantumCloud& cloud) {
+  if (circuit.num_qubits() >
+      cloud.num_qpus() * cloud.config().computing_qubits_per_qpu) {
+    throw std::logic_error("job '" + circuit.name() +
+                           "' exceeds total cloud capacity");
+  }
+}
+
 std::vector<TenantJobStats> run_batch(const std::vector<Circuit>& jobs,
                                       QuantumCloud& cloud,
                                       const Placer& placer,
                                       const CommAllocator& allocator,
                                       const MultiTenantOptions& options) {
-  for (const auto& job : jobs) {
-    if (job.num_qubits() > cloud.num_qpus() *
-                               cloud.config().computing_qubits_per_qpu) {
-      throw std::logic_error("job '" + job.name() +
-                             "' exceeds total cloud capacity");
-    }
-  }
+  for (const auto& job : jobs) check_fits_cloud(job, cloud);
 
   Rng rng(options.seed);
   const auto order = options.fifo ? fifo_order(jobs.size())

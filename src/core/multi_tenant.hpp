@@ -38,6 +38,11 @@ struct TenantJobStats {
   double est_fidelity = 1.0;
 };
 
+/// Throws std::logic_error when `circuit` cannot fit the cloud even when it
+/// is completely idle — the shared admission precondition of the batch and
+/// incoming engines.
+void check_fits_cloud(const Circuit& circuit, const QuantumCloud& cloud);
+
 /// Run one batch to completion. `cloud` carries the topology/resource
 /// configuration; its computing-qubit reservations are restored to their
 /// initial state before returning. Jobs that can never fit the cloud

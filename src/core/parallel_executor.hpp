@@ -1,0 +1,109 @@
+// Parallel batch-execution engine (the throughput layer over the serial
+// pipeline): fans independent work — whole jobs, stochastic repetitions of
+// a batch, racing placement strategies — across a worker-thread pool and
+// merges results in deterministic submission order.
+//
+// Determinism contract: every task seeds a private Rng with
+// stream_seed(seed, task index) and reads only const shared state (each
+// job simulation runs against a private QuantumCloud copy), so for a fixed
+// seed the merged results are bit-identical to a serial run regardless of
+// the worker count or thread scheduling.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "cloud/cloud.hpp"
+#include "common/thread_pool.hpp"
+#include "core/incoming.hpp"
+#include "core/multi_tenant.hpp"
+#include "placement/placement.hpp"
+#include "schedule/allocators.hpp"
+
+namespace cloudqc {
+
+/// Outcome of one independently executed job (run_independent).
+struct IndependentJobResult {
+  std::string name;
+  /// False when the placer found no feasible mapping on an empty cloud.
+  bool placed = false;
+  double completion_time = 0.0;
+  double est_fidelity = 1.0;
+  double log_fidelity = 0.0;
+  double comm_cost = 0.0;
+  std::size_t remote_ops = 0;
+  int qpus_used = 0;
+  std::uint64_t epr_rounds = 0;
+};
+
+class ParallelExecutor {
+ public:
+  /// `num_threads <= 0` selects ThreadPool::default_num_threads();
+  /// `num_threads == 1` runs every task inline on the caller's thread (the
+  /// serial reference the determinism tests compare against).
+  explicit ParallelExecutor(int num_threads = 0);
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// The underlying pool; null in serial (1-thread) mode. Safe to share
+  /// with a racing placer used inside run_independent/run_batch_sweep:
+  /// when the race fires from within an executor task, its parallel_for
+  /// runs inline on that worker (see ThreadPool::parallel_for), so the
+  /// jobs keep the pool saturated and no deadlock is possible.
+  ThreadPool* pool() const { return pool_.get(); }
+
+  /// Throughput mode: place and simulate every job independently, each
+  /// against a private copy of `cloud` with its full resources (jobs of
+  /// different tenants on disjoint hardware slices). Job i uses RNG stream
+  /// stream_seed(seed, i); results are returned in submission order.
+  /// Jobs that can never fit the cloud throw std::logic_error up front
+  /// (check_fits_cloud, as in run_batch/run_incoming); `placed == false`
+  /// marks jobs that fit in principle but found no feasible mapping.
+  std::vector<IndependentJobResult> run_independent(
+      const std::vector<Circuit>& jobs, const QuantumCloud& cloud,
+      const Placer& placer, const CommAllocator& allocator,
+      std::uint64_t seed = 1);
+
+  /// Repeated stochastic multi-tenant runs (the Sec. VI-D experiment
+  /// harness): run r = 0 … num_runs-1 executes run_batch on a private
+  /// cloud copy with options.seed = stream_seed(base.seed, r). Returns the
+  /// per-run stats in run order.
+  std::vector<std::vector<TenantJobStats>> run_batch_sweep(
+      const std::vector<Circuit>& jobs, const QuantumCloud& cloud,
+      const Placer& placer, const CommAllocator& allocator,
+      const MultiTenantOptions& base, int num_runs);
+
+  /// Repeated stochastic incoming-mode runs: like run_batch_sweep for
+  /// run_incoming.
+  std::vector<std::vector<IncomingJobStats>> run_incoming_sweep(
+      const std::vector<ArrivingJob>& jobs, const QuantumCloud& cloud,
+      const Placer& placer, const CommAllocator& allocator,
+      std::uint64_t base_seed, int num_runs);
+
+  /// Race `placers` on one request: strategy k draws from stream
+  /// stream_seed(seed, k); the best candidate by better_placement() wins,
+  /// with lower strategy index breaking exact ties. nullopt when no
+  /// strategy finds a feasible mapping.
+  std::optional<Placement> race_place(const Circuit& circuit,
+                                      const QuantumCloud& cloud,
+                                      const std::vector<const Placer*>& placers,
+                                      std::uint64_t seed = 1);
+
+ private:
+  /// Run fn(0) … fn(n-1), on the pool when present, inline otherwise.
+  void for_each_index(std::size_t n,
+                      const std::function<void(std::size_t)>& fn);
+
+  int num_threads_;
+  std::unique_ptr<ThreadPool> pool_;  // null in serial mode
+};
+
+}  // namespace cloudqc

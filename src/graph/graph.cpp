@@ -52,7 +52,7 @@ double Graph::edge_weight(NodeId u, NodeId v) const {
   return 0.0;
 }
 
-std::span<const Edge> Graph::neighbors(NodeId u) const {
+const std::vector<Edge>& Graph::neighbors(NodeId u) const {
   CLOUDQC_CHECK(u >= 0 && u < num_nodes());
   return adj_[static_cast<std::size_t>(u)];
 }

@@ -4,7 +4,6 @@
 #pragma once
 
 #include <cstdint>
-#include <span>
 #include <vector>
 
 namespace cloudqc {
@@ -46,7 +45,7 @@ class Graph {
   /// Weight of edge (u, v), or 0 if absent.
   double edge_weight(NodeId u, NodeId v) const;
 
-  std::span<const Edge> neighbors(NodeId u) const;
+  const std::vector<Edge>& neighbors(NodeId u) const;
 
   /// Sum of incident edge weights (self-loops counted twice).
   double weighted_degree(NodeId u) const;

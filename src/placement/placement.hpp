@@ -40,6 +40,12 @@ struct Placement {
   int num_qpus_used() const;
 };
 
+/// Strict-weak "better candidate" order shared by the racing entry points
+/// (RacingPlacer and ParallelExecutor::race_place): higher score first,
+/// then lower communication cost, then fewer remote ops. Candidate order
+/// breaks the final tie, so race winners are unique and deterministic.
+bool better_placement(const Placement& a, const Placement& b);
+
 struct PlacerOptions {
   /// Imbalance-factor sweep for graph partitioning (Algorithm 1 input).
   std::vector<double> imbalance_factors{0.05, 0.15, 0.3, 0.5};
@@ -78,5 +84,23 @@ std::unique_ptr<Placer> make_random_placer();
 std::unique_ptr<Placer> make_annealing_placer(int iterations = 20000);
 std::unique_ptr<Placer> make_genetic_placer(int population = 40,
                                             int generations = 120);
+
+class ThreadPool;
+
+/// Racing placer: runs every strategy on the same request and keeps the
+/// best candidate by better_placement() (score, then comm cost, then
+/// remote ops), with strategy order breaking exact ties. Each strategy
+/// draws from a private
+/// SplitMix-derived RNG stream, so the outcome — and the caller-visible
+/// RNG consumption (exactly one draw per place() call) — is identical
+/// whether the strategies run serially or race across `pool`'s workers.
+/// `pool` may be null (serial) and must outlive the placer.
+std::unique_ptr<Placer> make_racing_placer(
+    std::vector<std::unique_ptr<Placer>> strategies, ThreadPool* pool = nullptr);
+
+/// The default racing field: CloudQC, CloudQC-BFS, annealing, genetic and
+/// random, with the given options applied to the CloudQC family.
+std::unique_ptr<Placer> make_default_racing_placer(PlacerOptions opts = {},
+                                                   ThreadPool* pool = nullptr);
 
 }  // namespace cloudqc

@@ -7,6 +7,13 @@
 // The simulator supports dynamic job admission, which is how the
 // multi-tenant engine (core/multi_tenant.hpp) runs concurrent tenants on a
 // shared network.
+//
+// Concurrency contract: a NetworkSimulator instance is confined to one
+// thread, but it only *reads* the cloud and the allocator and owns its RNG
+// by value, so any number of instances may run in parallel over the same
+// QuantumCloud/CommAllocator (the parallel executor's job-level
+// parallelism). Callers must not mutate the cloud's reservations from
+// another thread while a simulation is running on it.
 #pragma once
 
 #include <memory>

@@ -1,0 +1,341 @@
+// Determinism contract of the parallel batch engine: for a fixed seed,
+// results at any worker count are bit-identical to the serial (1-worker)
+// reference. Every comparison below is exact (== on doubles): "close" is
+// not good enough, the merge must be byte-for-byte reproducible.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/cloudqc.hpp"
+
+namespace cloudqc {
+namespace {
+
+QuantumCloud test_cloud(std::uint64_t seed = 11) {
+  CloudConfig cfg;
+  cfg.num_qpus = 10;
+  cfg.computing_qubits_per_qpu = 12;
+  cfg.comm_qubits_per_qpu = 4;
+  Rng rng(seed);
+  return QuantumCloud(cfg, rng);
+}
+
+std::vector<Circuit> test_jobs() {
+  std::vector<Circuit> jobs;
+  for (const char* name : {"ising_n34", "cat_n65", "knn_n67", "bv_n70",
+                           "ising_n66", "adder_n64"}) {
+    jobs.push_back(make_workload(name));
+  }
+  return jobs;
+}
+
+void expect_identical(const IndependentJobResult& a,
+                      const IndependentJobResult& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.placed, b.placed);
+  EXPECT_EQ(a.completion_time, b.completion_time);
+  EXPECT_EQ(a.est_fidelity, b.est_fidelity);
+  EXPECT_EQ(a.log_fidelity, b.log_fidelity);
+  EXPECT_EQ(a.comm_cost, b.comm_cost);
+  EXPECT_EQ(a.remote_ops, b.remote_ops);
+  EXPECT_EQ(a.qpus_used, b.qpus_used);
+  EXPECT_EQ(a.epr_rounds, b.epr_rounds);
+}
+
+void expect_identical(const TenantJobStats& a, const TenantJobStats& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.placed_time, b.placed_time);
+  EXPECT_EQ(a.completion_time, b.completion_time);
+  EXPECT_EQ(a.remote_ops, b.remote_ops);
+  EXPECT_EQ(a.qpus_used, b.qpus_used);
+  EXPECT_EQ(a.est_fidelity, b.est_fidelity);
+}
+
+TEST(ParallelExecutor, IndependentJobsMatchSerialAtAllWorkerCounts) {
+  const auto jobs = test_jobs();
+  const auto cloud = test_cloud();
+  const auto placer = make_cloudqc_placer();
+  const auto alloc = make_cloudqc_allocator();
+
+  ParallelExecutor serial(1);
+  const auto reference =
+      serial.run_independent(jobs, cloud, *placer, *alloc, /*seed=*/5);
+  ASSERT_EQ(reference.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_TRUE(reference[i].placed) << jobs[i].name();
+    EXPECT_GT(reference[i].completion_time, 0.0);
+  }
+
+  for (int workers : {2, 8}) {
+    ParallelExecutor parallel(workers);
+    const auto got =
+        parallel.run_independent(jobs, cloud, *placer, *alloc, /*seed=*/5);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      SCOPED_TRACE("workers=" + std::to_string(workers) + " job=" +
+                   std::to_string(i));
+      expect_identical(got[i], reference[i]);
+    }
+  }
+}
+
+TEST(ParallelExecutor, IndependentJobsRejectOverCapacityBatch) {
+  // Same admission precondition as run_batch: test_cloud holds 120
+  // computing qubits, qft_n160 needs 160.
+  std::vector<Circuit> jobs{make_workload("ising_n34"),
+                            make_workload("qft_n160")};
+  const auto cloud = test_cloud();
+  const auto placer = make_cloudqc_placer();
+  const auto alloc = make_cloudqc_allocator();
+  ParallelExecutor ex(2);
+  EXPECT_THROW(ex.run_independent(jobs, cloud, *placer, *alloc, 1),
+               std::logic_error);
+}
+
+TEST(ParallelExecutor, IndependentJobsDifferAcrossSeeds) {
+  const auto jobs = test_jobs();
+  const auto cloud = test_cloud();
+  const auto placer = make_cloudqc_placer();
+  const auto alloc = make_cloudqc_allocator();
+  ParallelExecutor ex(2);
+  const auto a = ex.run_independent(jobs, cloud, *placer, *alloc, 5);
+  const auto b = ex.run_independent(jobs, cloud, *placer, *alloc, 6);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (a[i].completion_time != b[i].completion_time) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(ParallelExecutor, BatchSweepMatchesSerialAtAllWorkerCounts) {
+  const auto jobs = test_jobs();
+  const auto cloud = test_cloud();
+  const auto placer = make_cloudqc_placer();
+  const auto alloc = make_cloudqc_allocator();
+  MultiTenantOptions options;
+  options.seed = 21;
+
+  ParallelExecutor serial(1);
+  const auto reference =
+      serial.run_batch_sweep(jobs, cloud, *placer, *alloc, options, 6);
+  ASSERT_EQ(reference.size(), 6u);
+
+  for (int workers : {2, 8}) {
+    ParallelExecutor parallel(workers);
+    const auto got =
+        parallel.run_batch_sweep(jobs, cloud, *placer, *alloc, options, 6);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t r = 0; r < got.size(); ++r) {
+      ASSERT_EQ(got[r].size(), reference[r].size());
+      for (std::size_t i = 0; i < got[r].size(); ++i) {
+        SCOPED_TRACE("workers=" + std::to_string(workers) + " run=" +
+                     std::to_string(r) + " job=" + std::to_string(i));
+        expect_identical(got[r][i], reference[r][i]);
+      }
+    }
+  }
+}
+
+TEST(ParallelExecutor, BatchSweepLeavesCallerCloudUntouched) {
+  const auto jobs = test_jobs();
+  const auto cloud = test_cloud();
+  const int free_before = cloud.total_free_computing();
+  const auto placer = make_cloudqc_placer();
+  const auto alloc = make_cloudqc_allocator();
+  ParallelExecutor ex(4);
+  ex.run_batch_sweep(jobs, cloud, *placer, *alloc, {}, 4);
+  EXPECT_EQ(cloud.total_free_computing(), free_before);
+}
+
+TEST(ParallelExecutor, IncomingSweepMatchesSerialAtAllWorkerCounts) {
+  Rng trace_rng(3);
+  const auto trace =
+      poisson_trace({"ising_n34", "bv_n70", "cat_n65"}, 12, 250.0, trace_rng);
+  const auto cloud = test_cloud();
+  const auto placer = make_cloudqc_placer();
+  const auto alloc = make_cloudqc_allocator();
+
+  ParallelExecutor serial(1);
+  const auto reference =
+      serial.run_incoming_sweep(trace, cloud, *placer, *alloc, 9, 4);
+
+  for (int workers : {2, 8}) {
+    ParallelExecutor parallel(workers);
+    const auto got =
+        parallel.run_incoming_sweep(trace, cloud, *placer, *alloc, 9, 4);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t r = 0; r < got.size(); ++r) {
+      ASSERT_EQ(got[r].size(), reference[r].size());
+      for (std::size_t i = 0; i < got[r].size(); ++i) {
+        SCOPED_TRACE("workers=" + std::to_string(workers) + " run=" +
+                     std::to_string(r) + " job=" + std::to_string(i));
+        EXPECT_EQ(got[r][i].completion_time, reference[r][i].completion_time);
+        EXPECT_EQ(got[r][i].placed_time, reference[r][i].placed_time);
+        EXPECT_EQ(got[r][i].est_fidelity, reference[r][i].est_fidelity);
+        EXPECT_EQ(got[r][i].remote_ops, reference[r][i].remote_ops);
+      }
+    }
+  }
+}
+
+TEST(ParallelExecutor, RacePlaceIsDeterministicAcrossWorkerCounts) {
+  const auto cloud = test_cloud();
+  const Circuit circuit = make_workload("knn_n67");
+  const auto cq = make_cloudqc_placer();
+  const auto bfs = make_cloudqc_bfs_placer();
+  const auto sa = make_annealing_placer(2000);
+  const auto rnd = make_random_placer();
+  const std::vector<const Placer*> field{cq.get(), bfs.get(), sa.get(),
+                                         rnd.get()};
+
+  ParallelExecutor serial(1);
+  const auto reference = serial.race_place(circuit, cloud, field, 13);
+  ASSERT_TRUE(reference.has_value());
+
+  for (int workers : {2, 8}) {
+    ParallelExecutor parallel(workers);
+    const auto got = parallel.race_place(circuit, cloud, field, 13);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->qubit_to_qpu, reference->qubit_to_qpu);
+    EXPECT_EQ(got->score, reference->score);
+    EXPECT_EQ(got->comm_cost, reference->comm_cost);
+    EXPECT_EQ(got->remote_ops, reference->remote_ops);
+  }
+}
+
+TEST(ParallelExecutor, RaceNeverLosesToItsBestStrategy) {
+  const auto cloud = test_cloud();
+  const Circuit circuit = make_workload("ising_n34");
+  const auto cq = make_cloudqc_placer();
+  const auto rnd = make_random_placer();
+  ParallelExecutor ex(4);
+  const auto raced =
+      ex.race_place(circuit, cloud, {cq.get(), rnd.get()}, /*seed=*/1);
+  ASSERT_TRUE(raced.has_value());
+  // Strategy 0's candidate under the race's stream seeding.
+  Rng rng(stream_seed(1, 0));
+  const auto solo = cq->place(circuit, cloud, rng);
+  ASSERT_TRUE(solo.has_value());
+  EXPECT_GE(raced->score, solo->score);
+}
+
+TEST(RacingPlacer, MatchesSerialRaceAndConsumesOneDraw) {
+  const auto cloud = test_cloud();
+  const Circuit circuit = make_workload("knn_n67");
+  auto make_field = [] {
+    std::vector<std::unique_ptr<Placer>> field;
+    field.push_back(make_cloudqc_placer());
+    field.push_back(make_cloudqc_bfs_placer());
+    field.push_back(make_annealing_placer(2000));
+    return field;
+  };
+
+  const auto serial_racer = make_racing_placer(make_field(), nullptr);
+  Rng serial_rng(77);
+  const auto serial_result = serial_racer->place(circuit, cloud, serial_rng);
+  ASSERT_TRUE(serial_result.has_value());
+
+  ThreadPool pool(8);
+  const auto parallel_racer = make_racing_placer(make_field(), &pool);
+  Rng parallel_rng(77);
+  const auto parallel_result =
+      parallel_racer->place(circuit, cloud, parallel_rng);
+  ASSERT_TRUE(parallel_result.has_value());
+
+  EXPECT_EQ(parallel_result->qubit_to_qpu, serial_result->qubit_to_qpu);
+  EXPECT_EQ(parallel_result->score, serial_result->score);
+
+  // Both racers consumed exactly one draw from the caller's stream.
+  Rng probe(77);
+  probe();
+  EXPECT_EQ(serial_rng(), probe());
+  Rng probe2(77);
+  probe2();
+  EXPECT_EQ(parallel_rng(), probe2());
+}
+
+TEST(RacingPlacer, WorksInsideMultiTenantBatchDeterministically) {
+  const auto jobs = test_jobs();
+  ThreadPool pool(4);
+  const auto parallel_racer = make_default_racing_placer({}, &pool);
+  const auto serial_racer = make_default_racing_placer({}, nullptr);
+  const auto alloc = make_cloudqc_allocator();
+  MultiTenantOptions options;
+  options.seed = 4;
+
+  auto cloud_a = test_cloud();
+  const auto with_pool = run_batch(jobs, cloud_a, *parallel_racer, *alloc,
+                                   options);
+  auto cloud_b = test_cloud();
+  const auto without_pool = run_batch(jobs, cloud_b, *serial_racer, *alloc,
+                                      options);
+  ASSERT_EQ(with_pool.size(), without_pool.size());
+  for (std::size_t i = 0; i < with_pool.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(with_pool[i], without_pool[i]);
+  }
+}
+
+TEST(Scheduler, SeedOverloadMatchesExplicitRngRun) {
+  const auto cloud = test_cloud();
+  const Circuit circuit = make_workload("ising_n34");
+  Rng place_rng(2);
+  const auto placement = make_cloudqc_placer()->place(circuit, cloud,
+                                                      place_rng);
+  ASSERT_TRUE(placement.has_value());
+  const auto alloc = make_cloudqc_allocator();
+
+  Rng rng(123);
+  const auto via_rng = run_schedule(circuit, *placement, cloud, *alloc, rng);
+  const auto via_seed = run_schedule(circuit, *placement, cloud, *alloc,
+                                     std::uint64_t{123});
+  EXPECT_EQ(via_seed.completion_time, via_rng.completion_time);
+  EXPECT_EQ(via_seed.epr_rounds, via_rng.epr_rounds);
+  EXPECT_EQ(via_seed.est_fidelity, via_rng.est_fidelity);
+  EXPECT_EQ(via_seed.log_fidelity, via_rng.log_fidelity);
+}
+
+TEST(BatchManager, ParallelImportanceScoringMatchesSerial) {
+  const auto jobs = test_jobs();
+  const auto serial_scores = job_importances(jobs);
+  const auto serial_order = batch_order(jobs);
+  ThreadPool pool(4);
+  EXPECT_EQ(job_importances(jobs, {}, &pool), serial_scores);
+  EXPECT_EQ(batch_order(jobs, {}, &pool), serial_order);
+}
+
+TEST(StatAccumulator, ConcurrentAddsCountEverySample) {
+  StatAccumulator acc;
+  ThreadPool pool(8);
+  pool.parallel_for(1000, [&](std::size_t i) {
+    acc.add(static_cast<double>(i % 10));
+  });
+  EXPECT_EQ(acc.count(), 1000u);
+  EXPECT_EQ(acc.minimum(), 0.0);
+  EXPECT_EQ(acc.maximum(), 9.0);
+  // Sum of small integers is exact in double regardless of order.
+  EXPECT_EQ(acc.sum(), 4500.0);
+  EXPECT_EQ(acc.mean(), 4.5);
+}
+
+TEST(StatAccumulator, MergeCombinesSamples) {
+  StatAccumulator a, b;
+  a.add_all({1.0, 2.0});
+  b.add_all({3.0});
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum(), 6.0);
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(StatAccumulator, SelfMergeIsANoOp) {
+  StatAccumulator a;
+  a.add_all({1.0, 2.0});
+  a.merge(a);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.sum(), 3.0);
+}
+
+}  // namespace
+}  // namespace cloudqc

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+namespace cloudqc {
+namespace {
+
+TEST(ThreadPool, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::default_num_threads(), 1);
+  EXPECT_LE(ThreadPool::default_num_threads(), 64);
+}
+
+TEST(ThreadPool, ConstructDestructWithoutTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+}
+
+TEST(ThreadPool, NonPositiveRequestFallsBackToDefault) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), ThreadPool::default_num_threads());
+}
+
+TEST(ThreadPool, SubmitReturnsResultThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++counter;
+      });
+    }
+  }  // destructor joins after finishing every queued task
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, PoolSurvivesThrowingTask) {
+  ThreadPool pool(1);
+  auto bad = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  auto good = pool.submit([] { return 7; });
+  EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexException) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(100, [](std::size_t i) {
+      if (i == 17 || i == 90) {
+        throw std::runtime_error("task " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 17");
+  }
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  // A racing placer invoked from inside an executor task calls
+  // parallel_for on the pool that is running it; the nested call must run
+  // inline instead of queueing subtasks no worker is free to execute.
+  ThreadPool pool(2);
+  std::atomic<int> inner_runs{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    EXPECT_TRUE(pool.on_worker_thread());
+    pool.parallel_for(5, [&](std::size_t) { ++inner_runs; });
+  });
+  EXPECT_EQ(inner_runs.load(), 40);
+  EXPECT_FALSE(pool.on_worker_thread());
+}
+
+TEST(ThreadPool, ParallelForUsesMultipleWorkers) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::set<std::thread::id> seen;
+  pool.parallel_for(64, [&](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    std::lock_guard<std::mutex> lock(mutex);
+    seen.insert(std::this_thread::get_id());
+  });
+  EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(SplitMix, StreamSeedsAreDistinctAndStable) {
+  // stream_seed is pure: same inputs, same output.
+  EXPECT_EQ(stream_seed(1, 0), stream_seed(1, 0));
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    for (std::uint64_t i = 0; i < 1000; ++i) seeds.insert(stream_seed(s, i));
+  }
+  EXPECT_EQ(seeds.size(), 3000u);
+}
+
+}  // namespace
+}  // namespace cloudqc
