@@ -1,0 +1,209 @@
+// Incremental delta-cost engine vs full recomputation: the same random
+// move/swap candidate stream evaluated (a) through IncrementalCostModel in
+// O(degree) per candidate and (b) by re-walking the gate list via
+// placement_comm_cost, on large QFT/QAOA-style workloads.
+//
+// This binary is a CI gate, not just a report:
+//   - every delta must equal the full-recomputation delta EXACTLY (==), and
+//     the delta-maintained running cost must equal a final full recompute;
+//   - the measured speedup on every >= 1000-gate workload must reach
+//     CLOUDQC_BENCH_MIN_SPEEDUP (default 5; set 0 to disable the gate).
+//
+// Environment knobs:
+//   CLOUDQC_BENCH_SCALE=full       paper-scale evaluation counts
+//   CLOUDQC_BENCH_MIN_SPEEDUP=N    speedup gate (default 5, 0 disables)
+//   CLOUDQC_BENCH_JSON_DIR=dir     where BENCH_incremental_cost.json lands
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "circuit/generators.hpp"
+#include "placement/cost.hpp"
+#include "placement/incremental_cost.hpp"
+
+namespace {
+
+using namespace cloudqc;
+using Clock = std::chrono::steady_clock;
+
+struct Op {
+  bool is_swap = false;
+  int q1 = 0;
+  int q2 = 0;       // swap partner
+  QpuId to = 0;     // move target
+};
+
+std::vector<Op> make_ops(int n, int num_qpus, std::size_t count, Rng& rng) {
+  std::vector<Op> ops(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Op& op = ops[i];
+    op.is_swap = (i % 2) == 1;
+    op.q1 = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    op.q2 = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    op.to = static_cast<QpuId>(rng.below(static_cast<std::uint64_t>(num_qpus)));
+  }
+  return ops;
+}
+
+struct Run {
+  double seconds = 0.0;
+  std::vector<double> deltas;
+  std::vector<QpuId> final_map;
+};
+
+/// Evaluate (and greedily apply improving) candidates through the model.
+Run run_incremental(const IncrementalCostModel& proto, const Circuit& circuit,
+                    const QuantumCloud& cloud, const std::vector<QpuId>& map0,
+                    const std::vector<Op>& ops) {
+  (void)circuit;
+  IncrementalCostModel model = proto;
+  model.reset(map0);
+  Run out;
+  out.deltas.reserve(ops.size());
+  const auto start = Clock::now();
+  for (const Op& op : ops) {
+    double d;
+    if (op.is_swap) {
+      d = model.swap_delta(op.q1, op.q2);
+      if (d < 0.0) model.apply_swap(op.q1, op.q2, d);
+    } else {
+      d = model.move_delta(op.q1, op.to);
+      if (d < 0.0) model.apply_move(op.q1, op.to, d);
+    }
+    out.deltas.push_back(d);
+  }
+  out.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  out.final_map = model.mapping();
+  // Running cost vs full recomputation: the exactness contract.
+  const double full = placement_comm_cost(circuit, cloud, out.final_map);
+  if (model.cost() != full) {
+    std::fprintf(stderr,
+                 "FATAL: delta-maintained cost %.17g != full recompute %.17g\n",
+                 model.cost(), full);
+    std::exit(1);
+  }
+  return out;
+}
+
+/// The pre-refactor evaluation strategy: one full gate-list walk per
+/// candidate (running cost tracked, so exactly one walk per evaluation).
+Run run_full(const Circuit& circuit, const QuantumCloud& cloud,
+             const std::vector<QpuId>& map0, const std::vector<Op>& ops) {
+  Run out;
+  out.deltas.reserve(ops.size());
+  std::vector<QpuId> map = map0;
+  double cur = placement_comm_cost(circuit, cloud, map);
+  const auto start = Clock::now();
+  for (const Op& op : ops) {
+    const auto q1 = static_cast<std::size_t>(op.q1);
+    const auto q2 = static_cast<std::size_t>(op.q2);
+    const QpuId old1 = map[q1];
+    const QpuId old2 = map[q2];
+    if (op.is_swap) {
+      map[q1] = old2;
+      map[q2] = old1;
+    } else {
+      map[q1] = op.to;
+    }
+    const double after = placement_comm_cost(circuit, cloud, map);
+    const double d = after - cur;
+    if (d < 0.0) {
+      cur = after;  // keep
+    } else {
+      map[q1] = old1;  // revert
+      map[q2] = old2;
+    }
+    out.deltas.push_back(d);
+  }
+  out.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  out.final_map = std::move(map);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "incremental delta-cost engine vs full recomputation",
+      "placement-search inner loop (engine speedup, not a paper figure)");
+
+  const QuantumCloud cloud = bench::default_cloud(/*seed=*/7);
+  const auto evals =
+      static_cast<std::size_t>(bench::runs_per_point(4000, 200000));
+  const double min_speedup = static_cast<double>(
+      env_int_or("CLOUDQC_BENCH_MIN_SPEEDUP", 5));
+
+  struct Workload {
+    std::string name;
+    Circuit circuit;
+  };
+  Rng gen_rng(11);
+  std::vector<Workload> workloads;
+  workloads.push_back({"qft_n64", gen::qft(64)});
+  workloads.push_back({"qaoa_n100", gen::qaoa(100, 4, gen_rng)});
+  workloads.push_back({"ghz_n120", gen::ghz(120)});
+
+  TextTable table({"workload", "gates", "2q gates", "evals", "full ns/eval",
+                   "delta ns/eval", "speedup"});
+  bench::BenchJson json("incremental_cost");
+  json.add("evals", static_cast<long>(evals));
+  json.add("min_speedup_required", min_speedup);
+
+  bool gate_failed = false;
+  for (const auto& [name, circuit] : workloads) {
+    Rng rng(stream_seed(99, static_cast<std::uint64_t>(circuit.num_gates())));
+    const int n = circuit.num_qubits();
+    std::vector<QpuId> map0(static_cast<std::size_t>(n));
+    for (auto& q : map0) {
+      q = static_cast<QpuId>(
+          rng.below(static_cast<std::uint64_t>(cloud.num_qpus())));
+    }
+    const auto ops = make_ops(n, cloud.num_qpus(), evals, rng);
+
+    const IncrementalCostModel proto(circuit, cloud);
+    const Run inc = run_incremental(proto, circuit, cloud, map0, ops);
+    const Run full = run_full(circuit, cloud, map0, ops);
+
+    // Exact (bit-identical) delta parity, candidate by candidate.
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (inc.deltas[i] != full.deltas[i]) ++mismatches;
+    }
+    if (mismatches > 0 || inc.final_map != full.final_map) {
+      std::fprintf(stderr,
+                   "FATAL: %s: %zu/%zu delta mismatches (final maps %s)\n",
+                   name.c_str(), mismatches, ops.size(),
+                   inc.final_map == full.final_map ? "agree" : "differ");
+      return 1;
+    }
+
+    const double per_full = full.seconds / static_cast<double>(evals) * 1e9;
+    const double per_inc = inc.seconds / static_cast<double>(evals) * 1e9;
+    const double speedup = full.seconds / inc.seconds;
+    table.add_row({name, std::to_string(circuit.num_gates()),
+                   std::to_string(circuit.two_qubit_gate_count()),
+                   std::to_string(evals), fmt_double(per_full, 1),
+                   fmt_double(per_inc, 1), fmt_double(speedup, 1)});
+    json.add(name + "_gates", static_cast<long>(circuit.num_gates()));
+    json.add(name + "_full_ns_per_eval", per_full);
+    json.add(name + "_delta_ns_per_eval", per_inc);
+    json.add(name + "_speedup", speedup);
+
+    if (min_speedup > 0.0 && circuit.num_gates() >= 1000 &&
+        speedup < min_speedup) {
+      std::fprintf(stderr,
+                   "FATAL: %s (%zu gates): speedup %.1fx below the %.0fx "
+                   "gate\n",
+                   name.c_str(), circuit.num_gates(), speedup, min_speedup);
+      gate_failed = true;
+    }
+  }
+  bench::print_table(table);
+  json.add("parity", std::string("exact"));
+  const std::string path = json.write();
+  std::printf("\nevery delta == full recomputation (exact); results: %s\n",
+              path.empty() ? "(json write failed)" : path.c_str());
+  return gate_failed ? 1 : 0;
+}

@@ -5,8 +5,11 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/csv.hpp"
 #include "common/env.hpp"
@@ -45,5 +48,46 @@ inline void print_header(const std::string& what, const std::string& paper) {
   std::printf("scale: %s (set CLOUDQC_BENCH_SCALE=full for paper-scale)\n\n",
               bench_full_scale() ? "full" : "quick");
 }
+
+/// Machine-readable result sink for the CI bench-smoke job: collects flat
+/// key/value pairs and writes them as `BENCH_<name>.json` into
+/// $CLOUDQC_BENCH_JSON_DIR (or the working directory when unset). CI
+/// uploads these files as artifacts, giving the repo a perf trajectory.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    entries_.emplace_back(key, std::string(buf));
+  }
+  void add(const std::string& key, long value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void add(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, "\"" + value + "\"");
+  }
+
+  /// Write BENCH_<name>.json; returns the path written (empty on failure).
+  std::string write() const {
+    const std::string dir = env_or("CLOUDQC_BENCH_JSON_DIR", ".");
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::ofstream os(path);
+    if (!os) return "";
+    os << "{\n  \"bench\": \"" << name_ << "\"";
+    for (const auto& [key, value] : entries_) {
+      os << ",\n  \"" << key << "\": " << value;
+    }
+    os << "\n}\n";
+    return os ? path : "";
+  }
+
+ private:
+  std::string name_;
+  // (key, pre-rendered JSON value). Keys/string values are plain ASCII
+  // identifiers by convention; no escaping is attempted.
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 }  // namespace cloudqc::bench

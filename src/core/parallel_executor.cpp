@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "placement/incremental_cost.hpp"
 #include "schedule/scheduler.hpp"
 
 namespace cloudqc {
@@ -91,10 +92,13 @@ std::optional<Placement> ParallelExecutor::race_place(
     const Circuit& circuit, const QuantumCloud& cloud,
     const std::vector<const Placer*>& placers, std::uint64_t seed) {
   CLOUDQC_CHECK_MSG(!placers.empty(), "race_place needs at least one placer");
+  // Shared immutable per-request precomputation (interaction CSR): read
+  // concurrently by every raced strategy, with no effect on determinism.
+  const PlacementContext ctx = PlacementContext::for_circuit(circuit);
   std::vector<std::optional<Placement>> candidates(placers.size());
   for_each_index(placers.size(), [&](std::size_t k) {
     Rng rng(stream_seed(seed, k));
-    candidates[k] = placers[k]->place(circuit, cloud, rng);
+    candidates[k] = placers[k]->place_with_context(circuit, cloud, rng, ctx);
   });
   std::optional<Placement> best;
   for (auto& candidate : candidates) {

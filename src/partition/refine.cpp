@@ -6,54 +6,41 @@
 #include "common/check.hpp"
 #include "partition/internal.hpp"
 #include "partition/partitioner.hpp"
+#include "placement/incremental_cost.hpp"
 
 namespace cloudqc::internal {
-namespace {
-
-/// Connectivity of node u to each part (sum of edge weights).
-void part_connectivity(const Graph& g, const std::vector<int>& part, NodeId u,
-                       int k, std::vector<double>& conn) {
-  conn.assign(static_cast<std::size_t>(k), 0.0);
-  for (const auto& e : g.neighbors(u)) {
-    if (e.to == u) continue;
-    conn[static_cast<std::size_t>(part[static_cast<std::size_t>(e.to)])] +=
-        e.weight;
-  }
-}
-
-}  // namespace
 
 void refine_partition(const Graph& g, std::vector<int>& part, int k,
                       double max_part_weight, int passes, Rng& rng) {
   CLOUDQC_CHECK(part.size() == static_cast<std::size_t>(g.num_nodes()));
   if (k <= 1 || g.num_nodes() == 0) return;
 
-  std::vector<double> weight = part_weights(g, part, k);
+  // The cut-metric leg of the incremental delta-cost engine: per-node
+  // connectivity scatters in O(degree(u)) with sparse clearing, part
+  // weights maintained incrementally.
+  PartitionConnectivity model(g, k);
+  model.reset(part);
   std::vector<NodeId> order(static_cast<std::size_t>(g.num_nodes()));
   std::iota(order.begin(), order.end(), 0);
-  std::vector<double> conn;
 
   for (int pass = 0; pass < passes; ++pass) {
     rng.shuffle(order);
     bool moved = false;
     for (const NodeId u : order) {
-      const int from = part[static_cast<std::size_t>(u)];
-      part_connectivity(g, part, u, k, conn);
+      const int from = model.part()[static_cast<std::size_t>(u)];
+      const std::vector<double>& conn = model.connectivity(u);
       const double internal = conn[static_cast<std::size_t>(from)];
       const double wu = g.node_weight(u);
 
       // When `from` is over the balance ceiling, any move into a part with
       // room is admissible (even cut-worsening); otherwise only boundary
       // moves with room are considered and only positive gain is accepted.
-      const bool overweight =
-          weight[static_cast<std::size_t>(from)] > max_part_weight;
+      const bool overweight = model.part_weight(from) > max_part_weight;
       int best_to = -1;
       double best_gain = -std::numeric_limits<double>::infinity();
       for (int to = 0; to < k; ++to) {
         if (to == from) continue;
-        if (weight[static_cast<std::size_t>(to)] + wu > max_part_weight) {
-          continue;
-        }
+        if (model.part_weight(to) + wu > max_part_weight) continue;
         if (conn[static_cast<std::size_t>(to)] == 0.0 && !overweight) continue;
         const double gain = conn[static_cast<std::size_t>(to)] - internal;
         if (gain > best_gain) {
@@ -62,14 +49,13 @@ void refine_partition(const Graph& g, std::vector<int>& part, int k,
         }
       }
       if (best_to >= 0 && (best_gain > 0.0 || overweight)) {
-        part[static_cast<std::size_t>(u)] = best_to;
-        weight[static_cast<std::size_t>(from)] -= wu;
-        weight[static_cast<std::size_t>(best_to)] += wu;
+        model.move(u, best_to);
         moved = true;
       }
     }
     if (!moved) break;
   }
+  part = model.part();
 }
 
 void repair_empty_parts(const Graph& g, std::vector<int>& part, int k) {

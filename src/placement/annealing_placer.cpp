@@ -2,9 +2,15 @@
 // allocation of Mao et al. (INFOCOM'23) as cited by the paper: anneal over
 // qubit→QPU assignments with move/swap neighbourhood, minimising the
 // communication cost Σ D_ij · C_{π(i)π(j)}.
+//
+// The inner loop is driven by IncrementalCostModel: each candidate move or
+// swap is scored in O(degree(qubit)) against the precomputed interaction
+// CSR instead of re-walking the gate list, with bit-identical acceptance
+// decisions (integer-valued deltas).
 #include <cmath>
 
 #include "placement/cost.hpp"
+#include "placement/incremental_cost.hpp"
 #include "placement/placement.hpp"
 
 namespace cloudqc {
@@ -39,30 +45,24 @@ class AnnealingPlacer final : public Placer {
   std::optional<Placement> place(const Circuit& circuit,
                                  const QuantumCloud& cloud,
                                  Rng& rng) const override {
+    return place_with_context(circuit, cloud, rng,
+                              PlacementContext::for_circuit(circuit));
+  }
+
+  std::optional<Placement> place_with_context(
+      const Circuit& circuit, const QuantumCloud& cloud, Rng& rng,
+      const PlacementContext& ctx) const override {
     const int n = circuit.num_qubits();
     if (n == 0) return std::nullopt;
     auto maybe = random_feasible(circuit, cloud, rng);
     if (!maybe.has_value()) return std::nullopt;
-    std::vector<QpuId> cur = std::move(*maybe);
 
-    auto usage = qubits_per_qpu(cloud, cur);
-    double cur_cost = placement_comm_cost(circuit, cloud, cur);
-    std::vector<QpuId> best = cur;
-    double best_cost = cur_cost;
+    IncrementalCostModel model(ctx.csr, cloud);
+    model.reset(*maybe);
+    std::vector<QpuId> best = model.mapping();
+    double best_cost = model.cost();
 
-    // Incremental cost of reassigning qubit q from its current QPU to `to`.
-    const Graph interaction = circuit.interaction_graph();
-    auto delta_move = [&](int q, QpuId to) {
-      const QpuId from = cur[static_cast<std::size_t>(q)];
-      double d = 0.0;
-      for (const auto& e : interaction.neighbors(static_cast<NodeId>(q))) {
-        const QpuId peer = cur[static_cast<std::size_t>(e.to)];
-        d += e.weight * (cloud.distance(to, peer) - cloud.distance(from, peer));
-      }
-      return d;
-    };
-
-    const double t0 = std::max(1.0, cur_cost * 0.05);
+    const double t0 = std::max(1.0, model.cost() * 0.05);
     const double t1 = 0.01;
     for (int it = 0; it < iterations_; ++it) {
       const double frac =
@@ -75,63 +75,31 @@ class AnnealingPlacer final : public Placer {
         const QpuId to =
             static_cast<QpuId>(rng.below(static_cast<std::uint64_t>(
                 cloud.num_qpus())));
-        const QpuId from = cur[static_cast<std::size_t>(q)];
-        if (to == from) continue;
-        if (usage[static_cast<std::size_t>(to)] + 1 >
-            cloud.qpu(to).free_computing()) {
-          continue;
-        }
-        const double d = delta_move(q, to);
+        if (to == model.qpu_of(q)) continue;
+        if (!model.move_fits(to)) continue;
+        const double d = model.move_delta(q, to);
         if (d <= 0.0 || rng.chance(std::exp(-d / temp))) {
-          cur[static_cast<std::size_t>(q)] = to;
-          --usage[static_cast<std::size_t>(from)];
-          ++usage[static_cast<std::size_t>(to)];
-          cur_cost += d;
+          model.apply_move(q, to, d);
         }
       } else {
         // Swap two qubits on different QPUs (capacity-neutral).
         const int q1 = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
         const int q2 = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
-        const QpuId p1 = cur[static_cast<std::size_t>(q1)];
-        const QpuId p2 = cur[static_cast<std::size_t>(q2)];
-        if (p1 == p2) continue;
-        const double before =
-            partial_cost(interaction, cloud, cur, q1) +
-            partial_cost(interaction, cloud, cur, q2);
-        cur[static_cast<std::size_t>(q1)] = p2;
-        cur[static_cast<std::size_t>(q2)] = p1;
-        const double after =
-            partial_cost(interaction, cloud, cur, q1) +
-            partial_cost(interaction, cloud, cur, q2);
-        const double d = after - before;
+        if (model.qpu_of(q1) == model.qpu_of(q2)) continue;
+        const double d = model.swap_delta(q1, q2);
         if (d <= 0.0 || rng.chance(std::exp(-d / temp))) {
-          cur_cost += d;
-        } else {
-          cur[static_cast<std::size_t>(q1)] = p1;  // revert
-          cur[static_cast<std::size_t>(q2)] = p2;
+          model.apply_swap(q1, q2, d);
         }
       }
-      if (cur_cost < best_cost) {
-        best_cost = cur_cost;
-        best = cur;
+      if (model.cost() < best_cost) {
+        best_cost = model.cost();
+        best = model.mapping();
       }
     }
     return finalize_placement(circuit, cloud, std::move(best), 0.5, 0.5);
   }
 
  private:
-  /// Communication cost of the edges incident to qubit q.
-  static double partial_cost(const Graph& interaction,
-                             const QuantumCloud& cloud,
-                             const std::vector<QpuId>& map, int q) {
-    double c = 0.0;
-    for (const auto& e : interaction.neighbors(static_cast<NodeId>(q))) {
-      c += e.weight * cloud.distance(map[static_cast<std::size_t>(q)],
-                                     map[static_cast<std::size_t>(e.to)]);
-    }
-    return c;
-  }
-
   int iterations_;
 };
 

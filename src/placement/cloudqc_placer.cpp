@@ -11,6 +11,7 @@
 #include "partition/partitioner.hpp"
 #include "placement/cost.hpp"
 #include "placement/detail.hpp"
+#include "placement/incremental_cost.hpp"
 #include "placement/placement.hpp"
 
 namespace cloudqc {
@@ -254,6 +255,13 @@ class CloudQcFamilyPlacer final : public Placer {
   std::optional<Placement> place(const Circuit& circuit,
                                  const QuantumCloud& cloud,
                                  Rng& rng) const override {
+    return place_with_context(circuit, cloud, rng,
+                              PlacementContext::for_circuit(circuit));
+  }
+
+  std::optional<Placement> place_with_context(
+      const Circuit& circuit, const QuantumCloud& cloud, Rng& rng,
+      const PlacementContext& ctx) const override {
     const int n = circuit.num_qubits();
     if (n == 0) return std::nullopt;
 
@@ -268,7 +276,9 @@ class CloudQcFamilyPlacer final : public Placer {
             ? k_cap
             : std::min(k_cap, k_min + opts_.max_extra_parts);
 
-    const Graph interaction = circuit.interaction_graph();
+    // One interaction graph for the whole imbalance/k sweep, shared with
+    // the polish pass's delta-cost engine via the context.
+    const Graph& interaction = *ctx.interaction;
     std::optional<Placement> best;
 
     for (const double alpha : opts_.imbalance_factors) {
@@ -329,7 +339,7 @@ class CloudQcFamilyPlacer final : public Placer {
     if (best.has_value() && opts_.polish_passes > 0) {
       std::vector<QpuId> polished = best->qubit_to_qpu;
       detail::polish_placement(circuit, cloud, polished, opts_.polish_passes,
-                               rng);
+                               rng, &ctx);
       best = finalize_placement(circuit, cloud, std::move(polished),
                                 opts_.alpha, opts_.beta);
     }

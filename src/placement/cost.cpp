@@ -1,15 +1,31 @@
 #include "placement/cost.hpp"
 
 #include <algorithm>
-#include <set>
 
 #include "common/check.hpp"
 
 namespace cloudqc {
 
 int Placement::num_qpus_used() const {
-  std::set<QpuId> used(qubit_to_qpu.begin(), qubit_to_qpu.end());
-  return static_cast<int>(used.size());
+  // Finalized placements carry cloud-sized per-QPU usage: count occupied
+  // QPUs directly. Raw placements fall back to a flat seen-array scan —
+  // either way no per-call std::set allocation.
+  if (!qubits_per_qpu.empty()) {
+    return static_cast<int>(std::count_if(qubits_per_qpu.begin(),
+                                          qubits_per_qpu.end(),
+                                          [](int c) { return c > 0; }));
+  }
+  QpuId max_id = -1;
+  for (const QpuId q : qubit_to_qpu) max_id = std::max(max_id, q);
+  if (max_id < 0) return 0;
+  std::vector<char> seen(static_cast<std::size_t>(max_id) + 1, 0);
+  int count = 0;
+  for (const QpuId q : qubit_to_qpu) {
+    char& s = seen[static_cast<std::size_t>(q)];
+    count += 1 - s;
+    s = 1;
+  }
+  return count;
 }
 
 double placement_comm_cost(const Circuit& circuit, const QuantumCloud& cloud,

@@ -39,9 +39,12 @@ std::optional<std::vector<QpuId>> select_qpus_by_bfs(const QuantumCloud& cloud,
 /// feasible mapping with single-qubit moves and cross-QPU swaps until a
 /// full pass finds no improvement (bounded by `max_passes`). Preserves
 /// feasibility. Used by the CloudQC family after Algorithm 2's mapping.
+/// Candidate moves/swaps are scored through the incremental delta-cost
+/// engine; pass `ctx` to reuse a precomputed interaction CSR (nullptr
+/// builds one from the circuit).
 void polish_placement(const Circuit& circuit, const QuantumCloud& cloud,
                       std::vector<QpuId>& qubit_to_qpu, int max_passes,
-                      Rng& rng);
+                      Rng& rng, const PlacementContext* ctx = nullptr);
 
 /// Algorithm 2: map each partition to a distinct QPU from `candidates`.
 /// The partition-graph center goes to the candidate-set center; remaining

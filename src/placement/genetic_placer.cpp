@@ -2,9 +2,15 @@
 // qubit→QPU assignment vectors under tournament selection, uniform
 // crossover with capacity repair, and per-gene mutation. Fitness is the
 // negative communication cost.
+//
+// Both evaluation paths go through IncrementalCostModel: genome fitness is
+// the model's edge-swept cost (O(V + E) instead of O(gates) per genome),
+// and the repair local search scores candidate relocations in
+// O(degree(qubit)) per target QPU.
 #include <algorithm>
 
 #include "placement/cost.hpp"
+#include "placement/incremental_cost.hpp"
 #include "placement/placement.hpp"
 
 namespace cloudqc {
@@ -13,19 +19,19 @@ namespace {
 using Genome = std::vector<QpuId>;
 
 /// Move overflowing qubits to QPUs with spare capacity (cheapest first by
-/// interaction-weighted distance) so every genome stays feasible.
-void repair(Genome& g, const Graph& interaction, const QuantumCloud& cloud,
+/// interaction-weighted distance) so every genome stays feasible. The
+/// model is left loaded with the repaired genome.
+void repair(Genome& g, IncrementalCostModel& model, const QuantumCloud& cloud,
             Rng& rng) {
-  std::vector<int> usage(static_cast<std::size_t>(cloud.num_qpus()), 0);
-  for (const QpuId q : g) ++usage[static_cast<std::size_t>(q)];
+  model.reset(g);
 
   std::vector<int> order(g.size());
   for (std::size_t i = 0; i < g.size(); ++i) order[i] = static_cast<int>(i);
   rng.shuffle(order);
 
   for (const int qubit : order) {
-    const QpuId at = g[static_cast<std::size_t>(qubit)];
-    if (usage[static_cast<std::size_t>(at)] <=
+    const QpuId at = model.qpu_of(qubit);
+    if (model.usage()[static_cast<std::size_t>(at)] <=
         cloud.qpu(at).free_computing()) {
       continue;
     }
@@ -33,26 +39,20 @@ void repair(Genome& g, const Graph& interaction, const QuantumCloud& cloud,
     QpuId best = kInvalidNode;
     double best_cost = 0.0;
     for (QpuId to = 0; to < cloud.num_qpus(); ++to) {
-      if (usage[static_cast<std::size_t>(to)] + 1 >
+      if (model.usage()[static_cast<std::size_t>(to)] + 1 >
           cloud.qpu(to).free_computing()) {
         continue;
       }
-      double cost = 0.0;
-      for (const auto& e :
-           interaction.neighbors(static_cast<NodeId>(qubit))) {
-        cost += e.weight *
-                cloud.distance(to, g[static_cast<std::size_t>(e.to)]);
-      }
+      const double cost = model.relocation_cost(qubit, to);
       if (best == kInvalidNode || cost < best_cost) {
         best = to;
         best_cost = cost;
       }
     }
     if (best == kInvalidNode) continue;  // cloud totally full; keep as-is
-    --usage[static_cast<std::size_t>(at)];
-    ++usage[static_cast<std::size_t>(best)];
-    g[static_cast<std::size_t>(qubit)] = best;
+    model.apply_move(qubit, best);
   }
+  g = model.mapping();
 }
 
 class GeneticPlacer final : public Placer {
@@ -65,13 +65,16 @@ class GeneticPlacer final : public Placer {
   std::optional<Placement> place(const Circuit& circuit,
                                  const QuantumCloud& cloud,
                                  Rng& rng) const override {
+    return place_with_context(circuit, cloud, rng,
+                              PlacementContext::for_circuit(circuit));
+  }
+
+  std::optional<Placement> place_with_context(
+      const Circuit& circuit, const QuantumCloud& cloud, Rng& rng,
+      const PlacementContext& ctx) const override {
     const int n = circuit.num_qubits();
     if (n == 0 || cloud.total_free_computing() < n) return std::nullopt;
-    const Graph interaction = circuit.interaction_graph();
-
-    auto cost_of = [&](const Genome& g) {
-      return placement_comm_cost(circuit, cloud, g);
-    };
+    IncrementalCostModel model(ctx.csr, cloud);
 
     // Seed population: random assignments, repaired to feasibility.
     std::vector<Genome> pop;
@@ -83,9 +86,9 @@ class GeneticPlacer final : public Placer {
         q = static_cast<QpuId>(
             rng.below(static_cast<std::uint64_t>(cloud.num_qpus())));
       }
-      repair(g, interaction, cloud, rng);
+      repair(g, model, cloud, rng);
       if (!placement_fits(cloud, g)) return std::nullopt;
-      cost.push_back(cost_of(g));
+      cost.push_back(model.cost());  // repair left the model on g
       pop.push_back(std::move(g));
     }
 
@@ -129,8 +132,8 @@ class GeneticPlacer final : public Placer {
                 rng.below(static_cast<std::uint64_t>(cloud.num_qpus())));
           }
         }
-        repair(child, interaction, cloud, rng);
-        next_cost.push_back(cost_of(child));
+        repair(child, model, cloud, rng);
+        next_cost.push_back(model.cost());
         next.push_back(std::move(child));
       }
       pop = std::move(next);

@@ -1,0 +1,181 @@
+// Incremental delta-cost engine for placement search.
+//
+// Every optimizing placer (annealing, genetic, polish, FM-style partition
+// refinement) explores millions of candidate moves per run. Re-walking the
+// full gate list via placement_comm_cost for each candidate is O(gates);
+// this engine precomputes the circuit's weighted qubit-interaction
+// multigraph once (CSR layout) and evaluates a candidate move or swap in
+// O(degree(qubit)) instead.
+//
+// Exactness contract: interaction-graph edge weights are 2-qubit-gate
+// counts and hop distances are small integers, so every partial sum is an
+// integer far below 2^53 and therefore exactly representable in double.
+// Deltas and the delta-maintained running cost are bit-identical to a full
+// placement_comm_cost recomputation — callers may compare with `==`, and
+// the property tests do.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "cloud/cloud.hpp"
+#include "graph/graph.hpp"
+
+namespace cloudqc {
+
+/// Immutable compressed-sparse-row snapshot of a weighted graph's
+/// adjacency. Iteration order per node matches Graph::neighbors exactly
+/// (required for bit-identical floating-point accumulation), but all
+/// neighbour lists share two flat arrays, so sweeping many nodes stays
+/// cache-friendly. Safe to share across threads.
+class CsrAdjacency {
+ public:
+  explicit CsrAdjacency(const Graph& g);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(offset_.size() - 1); }
+  std::size_t num_entries() const { return to_.size(); }
+
+  std::size_t begin(NodeId u) const {
+    return offset_[static_cast<std::size_t>(u)];
+  }
+  std::size_t end(NodeId u) const {
+    return offset_[static_cast<std::size_t>(u) + 1];
+  }
+  std::size_t degree(NodeId u) const { return end(u) - begin(u); }
+  NodeId to(std::size_t i) const { return to_[i]; }
+  double weight(std::size_t i) const { return weight_[i]; }
+
+ private:
+  std::vector<std::size_t> offset_;  // size num_nodes + 1
+  std::vector<NodeId> to_;
+  std::vector<double> weight_;
+};
+
+/// Shared per-request precomputation for one circuit, built once and reused
+/// across racing strategies (and across the imbalance/k sweep inside the
+/// CloudQC family). All members are immutable after construction, so one
+/// context may be read concurrently by every worker of a racing placer
+/// without affecting determinism: the cached artefacts are pure functions
+/// of the circuit.
+struct PlacementContext {
+  /// The paper's D_ij multigraph: node per qubit, edge weight = number of
+  /// 2-qubit gates between the endpoints.
+  std::shared_ptr<const Graph> interaction;
+  /// CSR snapshot of `interaction` for the delta-cost engine.
+  std::shared_ptr<const CsrAdjacency> csr;
+
+  static PlacementContext for_circuit(const Circuit& circuit);
+};
+
+/// Incremental evaluator of the placement communication cost
+/// Σ over 2-qubit gates of hop-distance(π(a), π(b)).
+///
+/// Holds the current mapping plus cached per-QPU usage and the running
+/// cost; move_delta/swap_delta answer "what would this candidate change
+/// cost?" in O(degree), and apply_* commit a candidate in O(degree).
+class IncrementalCostModel {
+ public:
+  /// Builds the interaction CSR from the circuit (O(gates), once).
+  IncrementalCostModel(const Circuit& circuit, const QuantumCloud& cloud);
+
+  /// Reuses a prebuilt CSR (e.g. from a PlacementContext shared across
+  /// racing strategies).
+  IncrementalCostModel(std::shared_ptr<const CsrAdjacency> csr,
+                       const QuantumCloud& cloud);
+
+  /// Load a mapping and recompute usage + cost from scratch: O(V + E).
+  void reset(const std::vector<QpuId>& qubit_to_qpu);
+
+  int num_qubits() const { return static_cast<int>(mapping_.size()); }
+  const std::vector<QpuId>& mapping() const { return mapping_; }
+  QpuId qpu_of(int q) const { return mapping_[static_cast<std::size_t>(q)]; }
+
+  /// Running communication cost; bit-identical to
+  /// placement_comm_cost(circuit, cloud, mapping()).
+  double cost() const { return cost_; }
+
+  /// Computing qubits currently assigned per QPU (cloud-sized).
+  const std::vector<int>& usage() const { return usage_; }
+
+  /// True if QPU `to` has a free computing slot for one more qubit.
+  bool move_fits(QpuId to) const;
+
+  /// Cost change of reassigning qubit q to QPU `to`: O(degree(q)).
+  /// A self-move (to == current QPU) is exactly 0.
+  double move_delta(int q, QpuId to) const;
+
+  /// Cost change of exchanging the QPUs of q1 and q2:
+  /// O(degree(q1) + degree(q2)). Exact for adjacent qubits (their shared
+  /// edge keeps its length) and exactly 0 for same-QPU or self swaps.
+  double swap_delta(int q1, int q2) const;
+
+  /// Σ over q's neighbours of weight · distance(to, π(neighbour)) — the
+  /// cost q's edges would carry if q lived on `to`. Used by repair-style
+  /// "cheapest feasible QPU" scans.
+  double relocation_cost(int q, QpuId to) const;
+
+  /// q's neighbour weight totalled per hosting QPU, in first-seen order.
+  /// Lets callers score P candidate targets in O(distinct peer QPUs) each
+  /// instead of O(degree); the buffer is invalidated by the next call.
+  const std::vector<std::pair<QpuId, double>>& neighbor_qpu_weights(int q);
+
+  /// Commit a move, updating mapping, usage and cost. The delta overload
+  /// reuses a value already computed via move_delta (bit-identical by the
+  /// exactness contract).
+  double apply_move(int q, QpuId to);
+  void apply_move(int q, QpuId to, double delta);
+
+  double apply_swap(int q1, int q2);
+  void apply_swap(int q1, int q2, double delta);
+
+ private:
+  std::shared_ptr<const CsrAdjacency> csr_;
+  const QuantumCloud* cloud_;
+  std::vector<QpuId> mapping_;
+  std::vector<int> usage_;
+  double cost_ = 0.0;
+  // Scratch for neighbor_qpu_weights: per-QPU slot index (+1; 0 = unseen)
+  // into the compacted result, reused across calls to avoid reallocation.
+  std::vector<int> qpu_slot_scratch_;
+  std::vector<std::pair<QpuId, double>> qpu_weights_;
+};
+
+/// Cut-metric sibling of IncrementalCostModel used by FM-style k-way
+/// partition refinement: the hop distance degenerates to the 0/1 cut
+/// indicator, so a node's move gain needs only its connectivity to each
+/// part. Tracks part weights incrementally and recomputes per-node
+/// connectivity in O(degree(u)) with sparse clearing (no O(k) zeroing per
+/// visited node).
+class PartitionConnectivity {
+ public:
+  PartitionConnectivity(const Graph& g, int k);
+
+  /// Load a part assignment and recompute part weights: O(V).
+  void reset(const std::vector<int>& part);
+
+  const std::vector<int>& part() const { return part_; }
+  double part_weight(int p) const {
+    return weight_[static_cast<std::size_t>(p)];
+  }
+
+  /// Connectivity of u to every part (self-loops excluded), recomputed in
+  /// O(degree(u)). The returned buffer is dense over the k parts and valid
+  /// until the next connectivity() call.
+  const std::vector<double>& connectivity(NodeId u);
+
+  /// Move u to part `to`, updating part weights in O(1).
+  void move(NodeId u, int to);
+
+ private:
+  CsrAdjacency csr_;
+  std::vector<double> node_weight_;
+  int k_;
+  std::vector<int> part_;
+  std::vector<double> weight_;
+  std::vector<double> conn_;     // dense k-sized buffer
+  std::vector<int> touched_;     // parts written by the last scatter
+};
+
+}  // namespace cloudqc

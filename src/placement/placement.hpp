@@ -66,6 +66,10 @@ struct PlacerOptions {
   std::size_t max_remote_ops_per_qpu = 0;
 };
 
+/// Shared per-request precomputation (interaction graph + CSR snapshot);
+/// defined in placement/incremental_cost.hpp.
+struct PlacementContext;
+
 /// Strategy interface. place() returns nullopt when the circuit cannot fit
 /// the currently free cloud resources.
 class Placer {
@@ -75,6 +79,19 @@ class Placer {
   virtual std::optional<Placement> place(const Circuit& circuit,
                                          const QuantumCloud& cloud,
                                          Rng& rng) const = 0;
+
+  /// Like place(), but reusing `ctx`'s precomputed artefacts (the
+  /// interaction-graph CSR driving the incremental delta-cost engine).
+  /// Racing entry points build one context per request and share it across
+  /// strategies. Contract: bit-identical to place() for the same RNG state
+  /// — the context only removes redundant recomputation, never changes
+  /// results. The default ignores the context.
+  virtual std::optional<Placement> place_with_context(
+      const Circuit& circuit, const QuantumCloud& cloud, Rng& rng,
+      const PlacementContext& ctx) const {
+    (void)ctx;
+    return place(circuit, cloud, rng);
+  }
 };
 
 /// Factories. `opts` applies to the CloudQC family.

@@ -3,35 +3,30 @@
 // they reduce the distance-weighted communication cost. Partition-level
 // mapping gets the global structure right; this pass cleans up the boundary
 // qubits that graph partitioning placed one QPU off.
+//
+// Scoring is incremental: a qubit's neighbour weights are aggregated per
+// hosting QPU once (O(degree)), after which each of the P candidate targets
+// costs O(distinct peer QPUs) instead of O(degree) — and no full gate-list
+// walk happens anywhere in the loop.
 #include <numeric>
 
 #include "common/check.hpp"
 #include "placement/cost.hpp"
 #include "placement/detail.hpp"
+#include "placement/incremental_cost.hpp"
 
 namespace cloudqc::detail {
-namespace {
-
-/// Communication cost of the interaction edges incident to `q` under `map`.
-double incident_cost(const Graph& ig, const QuantumCloud& cloud,
-                     const std::vector<QpuId>& map, NodeId q) {
-  double c = 0.0;
-  for (const auto& e : ig.neighbors(q)) {
-    c += e.weight * cloud.distance(map[static_cast<std::size_t>(q)],
-                                   map[static_cast<std::size_t>(e.to)]);
-  }
-  return c;
-}
-
-}  // namespace
 
 void polish_placement(const Circuit& circuit, const QuantumCloud& cloud,
                       std::vector<QpuId>& qubit_to_qpu, int max_passes,
-                      Rng& rng) {
+                      Rng& rng, const PlacementContext* ctx) {
   const int n = circuit.num_qubits();
   if (n == 0 || max_passes <= 0) return;
-  const Graph ig = circuit.interaction_graph();
-  std::vector<int> usage = qubits_per_qpu(cloud, qubit_to_qpu);
+  IncrementalCostModel model =
+      (ctx != nullptr && ctx->csr != nullptr)
+          ? IncrementalCostModel(ctx->csr, cloud)
+          : IncrementalCostModel(circuit, cloud);
+  model.reset(qubit_to_qpu);
 
   std::vector<NodeId> order(static_cast<std::size_t>(n));
   std::iota(order.begin(), order.end(), 0);
@@ -42,29 +37,29 @@ void polish_placement(const Circuit& circuit, const QuantumCloud& cloud,
 
     // Single-qubit moves into any QPU with a free computing slot.
     for (const NodeId q : order) {
-      const QpuId from = qubit_to_qpu[static_cast<std::size_t>(q)];
+      const QpuId from = model.qpu_of(q);
+      const auto& peers = model.neighbor_qpu_weights(q);
+      double before = 0.0;
+      for (const auto& [peer_qpu, w] : peers) {
+        before += w * cloud.distance(from, peer_qpu);
+      }
       double best_delta = -1e-9;
       QpuId best_to = kInvalidNode;
-      const double before = incident_cost(ig, cloud, qubit_to_qpu, q);
       for (QpuId to = 0; to < cloud.num_qpus(); ++to) {
         if (to == from) continue;
-        if (usage[static_cast<std::size_t>(to)] + 1 >
-            cloud.qpu(to).free_computing()) {
-          continue;
+        if (!model.move_fits(to)) continue;
+        double after = 0.0;
+        for (const auto& [peer_qpu, w] : peers) {
+          after += w * cloud.distance(to, peer_qpu);
         }
-        qubit_to_qpu[static_cast<std::size_t>(q)] = to;
-        const double delta =
-            incident_cost(ig, cloud, qubit_to_qpu, q) - before;
-        qubit_to_qpu[static_cast<std::size_t>(q)] = from;
+        const double delta = after - before;
         if (delta < best_delta) {
           best_delta = delta;
           best_to = to;
         }
       }
       if (best_to != kInvalidNode) {
-        qubit_to_qpu[static_cast<std::size_t>(q)] = best_to;
-        --usage[static_cast<std::size_t>(from)];
-        ++usage[static_cast<std::size_t>(best_to)];
+        model.apply_move(q, best_to, best_delta);
         improved = true;
       }
     }
@@ -73,25 +68,17 @@ void polish_placement(const Circuit& circuit, const QuantumCloud& cloud,
     // full and moves alone cannot rebalance.
     for (NodeId q1 = 0; q1 < n; ++q1) {
       for (NodeId q2 = q1 + 1; q2 < n; ++q2) {
-        const QpuId p1 = qubit_to_qpu[static_cast<std::size_t>(q1)];
-        const QpuId p2 = qubit_to_qpu[static_cast<std::size_t>(q2)];
-        if (p1 == p2) continue;
-        const double before = incident_cost(ig, cloud, qubit_to_qpu, q1) +
-                              incident_cost(ig, cloud, qubit_to_qpu, q2);
-        qubit_to_qpu[static_cast<std::size_t>(q1)] = p2;
-        qubit_to_qpu[static_cast<std::size_t>(q2)] = p1;
-        const double after = incident_cost(ig, cloud, qubit_to_qpu, q1) +
-                             incident_cost(ig, cloud, qubit_to_qpu, q2);
-        if (after < before - 1e-9) {
-          improved = true;  // keep the swap
-        } else {
-          qubit_to_qpu[static_cast<std::size_t>(q1)] = p1;
-          qubit_to_qpu[static_cast<std::size_t>(q2)] = p2;
+        if (model.qpu_of(q1) == model.qpu_of(q2)) continue;
+        const double delta = model.swap_delta(q1, q2);
+        if (delta < -1e-9) {
+          model.apply_swap(q1, q2, delta);
+          improved = true;
         }
       }
     }
     if (!improved) break;
   }
+  qubit_to_qpu = model.mapping();
   CLOUDQC_DCHECK(placement_fits(cloud, qubit_to_qpu));
 }
 

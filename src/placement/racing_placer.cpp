@@ -8,6 +8,7 @@
 
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
+#include "placement/incremental_cost.hpp"
 #include "placement/placement.hpp"
 
 namespace cloudqc {
@@ -46,10 +47,15 @@ class RacingPlacer final : public Placer {
     // tenant admission, incoming-mode admission) is unaffected by how the
     // race is run.
     const std::uint64_t base = rng();
+    // One interaction-graph CSR for the whole race: the context is
+    // immutable, so sharing it across workers cannot perturb results —
+    // each strategy returns exactly what a context-free place() would.
+    const PlacementContext ctx = PlacementContext::for_circuit(circuit);
     std::vector<std::optional<Placement>> candidates(strategies_.size());
     auto run_one = [&](std::size_t k) {
       Rng stream(stream_seed(base, k));
-      candidates[k] = strategies_[k]->place(circuit, cloud, stream);
+      candidates[k] =
+          strategies_[k]->place_with_context(circuit, cloud, stream, ctx);
     };
     if (pool_ != nullptr && strategies_.size() > 1) {
       pool_->parallel_for(strategies_.size(), run_one);

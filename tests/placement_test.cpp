@@ -76,6 +76,32 @@ TEST(Cost, FinalizeFillsEverything) {
   EXPECT_EQ(p.num_qpus_used(), 2);
 }
 
+TEST(Cost, NumQpusUsedMatchesSetSemantics) {
+  // The flat-array scan must agree with the old std::set implementation on
+  // random mappings, both with and without populated qubits_per_qpu.
+  Rng rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int n = 1 + static_cast<int>(rng.below(60));
+    const int num_qpus = 1 + static_cast<int>(rng.below(12));
+    Placement p;
+    p.qubit_to_qpu.resize(static_cast<std::size_t>(n));
+    for (auto& q : p.qubit_to_qpu) {
+      q = static_cast<QpuId>(rng.below(static_cast<std::uint64_t>(num_qpus)));
+    }
+    const std::set<QpuId> distinct(p.qubit_to_qpu.begin(),
+                                   p.qubit_to_qpu.end());
+    ASSERT_EQ(p.num_qpus_used(), static_cast<int>(distinct.size()));
+    // Finalized path: per-QPU counts populated.
+    p.qubits_per_qpu.assign(static_cast<std::size_t>(num_qpus), 0);
+    for (const QpuId q : p.qubit_to_qpu) {
+      ++p.qubits_per_qpu[static_cast<std::size_t>(q)];
+    }
+    ASSERT_EQ(p.num_qpus_used(), static_cast<int>(distinct.size()));
+  }
+  const Placement empty;
+  EXPECT_EQ(empty.num_qpus_used(), 0);
+}
+
 TEST(PartitionInteractionGraph, AggregatesCuts) {
   Graph ig(4);
   ig.add_edge(0, 1, 3.0);
