@@ -1,0 +1,56 @@
+// Capacity-signature admission gate shared by the batch and incoming
+// engines (core/multi_tenant.cpp, core/incoming.cpp).
+//
+// Both engines keep a queue of jobs that could not be placed yet and used
+// to re-run a full placement for every queued job at every decision point
+// (each arrival and each completion) — with an optimizing placer that is a
+// whole annealing/genetic run per queued job per event. Placement failure
+// is capacity-driven, so those retries are wasted whenever the cloud got
+// no richer: a job that failed under some free-computing state cannot
+// succeed under a state that is nowhere better. The gate records the
+// per-QPU free-computing vector at each failed attempt and suppresses
+// retries until at least one QPU has strictly more free computing qubits
+// than at the job's last failure (i.e. computing qubits were released
+// somewhere since).
+//
+// Determinism note: placers whose failure path is reachable only when
+// total free capacity is short — and which fail before consuming any
+// randomness (the annealing and genetic baselines bail out of their
+// initial feasible-assignment draw) — make suppressed retries provably
+// no-ops, so gated engine results are bit-identical to ungated runs. For
+// placers that can fail stochastically after consuming RNG, suppression
+// shifts the RNG stream: the trajectory may change, same-seed determinism
+// never does.
+#pragma once
+
+#include <vector>
+
+#include "cloud/cloud.hpp"
+
+namespace cloudqc {
+
+class AdmissionGate {
+ public:
+  /// `enabled == false` turns the gate into a pass-through (the ungated
+  /// baseline bench_network_sim compares against).
+  AdmissionGate(std::size_t num_jobs, bool enabled);
+
+  /// True when `job` deserves a placement attempt under the current
+  /// free-computing state: gating disabled, never failed before, or some
+  /// QPU now has more free computing qubits than at its last failure.
+  bool should_attempt(std::size_t job, const QuantumCloud& cloud) const;
+
+  /// Record that `job` failed to place under the current state.
+  void record_failure(std::size_t job, const QuantumCloud& cloud);
+
+  /// Record that `job` was admitted (releases its signature storage).
+  void record_admission(std::size_t job);
+
+ private:
+  bool enabled_;
+  /// Per-job free-computing vector at the last failed attempt; empty when
+  /// the job never failed (or was admitted).
+  std::vector<std::vector<int>> failed_free_;
+};
+
+}  // namespace cloudqc

@@ -8,6 +8,7 @@
 
 #include "circuit/workloads.hpp"
 #include "common/check.hpp"
+#include "core/admission_gate.hpp"
 #include "sim/network_sim.hpp"
 
 namespace cloudqc {
@@ -16,7 +17,7 @@ std::vector<IncomingJobStats> run_incoming(const std::vector<ArrivingJob>& jobs,
                                            QuantumCloud& cloud,
                                            const Placer& placer,
                                            const CommAllocator& allocator,
-                                           std::uint64_t seed) {
+                                           const IncomingOptions& options) {
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     check_fits_cloud(jobs[i].circuit, cloud);
     if (i > 0) {
@@ -25,21 +26,32 @@ std::vector<IncomingJobStats> run_incoming(const std::vector<ArrivingJob>& jobs,
     }
   }
 
-  Rng rng(seed);
+  Rng rng(options.seed);
   NetworkSimulator sim(cloud, allocator, rng.fork());
+  sim.set_change_gated(options.gated_allocation);
+  AdmissionGate gate(jobs.size(), options.gated_admission);
   std::vector<IncomingJobStats> stats(jobs.size());
   std::deque<std::size_t> queue;  // arrived, not yet placed (FIFO)
   std::size_t next_arrival = 0;
   std::map<int, std::pair<std::size_t, std::vector<int>>> in_flight;
 
-  auto admit = [&] {
+  // `force` bypasses the capacity signature (used when the cloud is idle,
+  // so a stochastic placer always gets a fresh shot before the engine
+  // would otherwise declare deadlock).
+  auto admit = [&](bool force) {
     for (auto it = queue.begin(); it != queue.end();) {
       const std::size_t idx = *it;
+      if (!force && !gate.should_attempt(idx, cloud)) {
+        ++it;  // no computing qubits released since its last failure
+        continue;
+      }
       const auto placement = placer.place(jobs[idx].circuit, cloud, rng);
       if (!placement.has_value()) {
+        gate.record_failure(idx, cloud);
         ++it;  // keeps its queue position; smaller jobs behind may fit
         continue;
       }
+      gate.record_admission(idx);
       CLOUDQC_CHECK(cloud.try_reserve(placement->qubits_per_qpu));
       const int sim_id = sim.add_job(jobs[idx].circuit,
                                      placement->qubit_to_qpu);
@@ -74,7 +86,7 @@ std::vector<IncomingJobStats> run_incoming(const std::vector<ArrivingJob>& jobs,
              jobs[next_arrival].arrival <= sim.now()) {
         queue.push_back(next_arrival++);
       }
-      admit();
+      admit(/*force=*/in_flight.empty());
       if (sim.next_event_time().has_value() || next_arrival < jobs.size()) {
         continue;
       }
@@ -90,12 +102,14 @@ std::vector<IncomingJobStats> run_incoming(const std::vector<ArrivingJob>& jobs,
     if (const auto completion = sim.step()) {
       const auto entry = in_flight.find(completion->job);
       CLOUDQC_CHECK(entry != in_flight.end());
-      const auto [idx, reservation] = entry->second;
+      // Bind by reference: copying the reservation vector per completion
+      // is pure overhead (it stays valid until the erase below).
+      const auto& [idx, reservation] = entry->second;
       stats[idx].completion_time = completion->time;
       stats[idx].est_fidelity = completion->est_fidelity;
       cloud.release(reservation);
       in_flight.erase(entry);
-      admit();
+      admit(/*force=*/in_flight.empty());
       if (in_flight.empty() && !queue.empty() &&
           next_arrival >= jobs.size()) {
         throw std::logic_error(
@@ -106,6 +120,16 @@ std::vector<IncomingJobStats> run_incoming(const std::vector<ArrivingJob>& jobs,
   }
   CLOUDQC_CHECK(queue.empty());
   return stats;
+}
+
+std::vector<IncomingJobStats> run_incoming(const std::vector<ArrivingJob>& jobs,
+                                           QuantumCloud& cloud,
+                                           const Placer& placer,
+                                           const CommAllocator& allocator,
+                                           std::uint64_t seed) {
+  IncomingOptions options;
+  options.seed = seed;
+  return run_incoming(jobs, cloud, placer, allocator, options);
 }
 
 std::vector<ArrivingJob> poisson_trace(const std::vector<std::string>& names,

@@ -34,10 +34,30 @@ struct IncomingJobStats {
   double est_fidelity = 1.0;
 };
 
+struct IncomingOptions {
+  std::uint64_t seed = 1;
+  /// Change-gated decision points (see README "Simulator event loop &
+  /// decision points"). Both default on; the ungated paths are kept as
+  /// the regression baseline for bench_network_sim and for A/B studies.
+  /// `gated_admission` suppresses placement retries for queued jobs until
+  /// computing qubits have been released since their last failed attempt
+  /// (capacity-signature rule; bypassed whenever the cloud is idle).
+  /// `gated_allocation` is NetworkSimulator::set_change_gated.
+  bool gated_admission = true;
+  bool gated_allocation = true;
+};
+
 /// Run an arrival trace to completion. Jobs must be sorted by
 /// non-decreasing arrival time. Admission is FIFO with head-of-line
 /// skipping (a job that cannot be placed right now does not block smaller
 /// jobs behind it, but keeps its queue position).
+std::vector<IncomingJobStats> run_incoming(const std::vector<ArrivingJob>& jobs,
+                                           QuantumCloud& cloud,
+                                           const Placer& placer,
+                                           const CommAllocator& allocator,
+                                           const IncomingOptions& options);
+
+/// Convenience overload with default options and the given seed.
 std::vector<IncomingJobStats> run_incoming(const std::vector<ArrivingJob>& jobs,
                                            QuantumCloud& cloud,
                                            const Placer& placer,

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/check.hpp"
+#include "core/admission_gate.hpp"
 #include "sim/network_sim.hpp"
 
 namespace cloudqc {
@@ -30,21 +31,33 @@ std::vector<TenantJobStats> run_batch(const std::vector<Circuit>& jobs,
   std::deque<std::size_t> pending(order.begin(), order.end());
 
   NetworkSimulator sim(cloud, allocator, rng.fork());
+  sim.set_change_gated(options.gated_allocation);
+  AdmissionGate gate(jobs.size(), options.gated_admission);
   std::vector<TenantJobStats> stats(jobs.size());
   // sim job id -> (batch index, computing-qubit reservation to release).
   std::map<int, std::pair<std::size_t, std::vector<int>>> in_flight;
 
-  auto admit_pending = [&] {
+  // `force` bypasses the capacity signature (used when the cloud is idle,
+  // so a stochastic placer always gets a fresh shot before the engine
+  // would otherwise declare deadlock).
+  auto admit_pending = [&](bool force) {
     // Work-conserving admission: walk the queue in batch order and place
     // every job the current free resources can host. Skipped jobs stay in
-    // order and are retried at the next completion.
+    // order and are retried at the next completion that released
+    // computing qubits they could use.
     for (auto it = pending.begin(); it != pending.end();) {
       const std::size_t idx = *it;
-      const auto placement = placer.place(jobs[idx], cloud, rng);
-      if (!placement.has_value()) {
+      if (!force && !gate.should_attempt(idx, cloud)) {
         ++it;
         continue;
       }
+      const auto placement = placer.place(jobs[idx], cloud, rng);
+      if (!placement.has_value()) {
+        gate.record_failure(idx, cloud);
+        ++it;
+        continue;
+      }
+      gate.record_admission(idx);
       CLOUDQC_CHECK(cloud.try_reserve(placement->qubits_per_qpu));
       const int sim_id = sim.add_job(jobs[idx], placement->qubit_to_qpu);
       in_flight[sim_id] = {idx, placement->qubits_per_qpu};
@@ -58,19 +71,21 @@ std::vector<TenantJobStats> run_batch(const std::vector<Circuit>& jobs,
     }
   };
 
-  admit_pending();
+  admit_pending(/*force=*/true);
   while (!in_flight.empty()) {
     const auto completion = sim.run_until_next_completion();
     CLOUDQC_CHECK_MSG(completion.has_value(),
                       "in-flight jobs but simulator has no events");
     const auto entry = in_flight.find(completion->job);
     CLOUDQC_CHECK(entry != in_flight.end());
-    const auto [idx, reservation] = entry->second;
+    // Bind by reference: copying the reservation vector per completion
+    // is pure overhead (it stays valid until the erase below).
+    const auto& [idx, reservation] = entry->second;
     stats[idx].completion_time = completion->time;
     stats[idx].est_fidelity = completion->est_fidelity;
     cloud.release(reservation);
     in_flight.erase(entry);
-    admit_pending();
+    admit_pending(/*force=*/in_flight.empty());
     if (in_flight.empty() && !pending.empty()) {
       throw std::logic_error(
           "multi-tenant deadlock: pending jobs cannot be admitted into an "

@@ -23,6 +23,15 @@ struct MultiTenantOptions {
   /// (CloudQC-FIFO baseline).
   bool fifo = false;
   std::uint64_t seed = 1;
+  /// Change-gated decision points (see README "Simulator event loop &
+  /// decision points"). Both default on; the ungated paths are kept as
+  /// the regression baseline for bench_network_sim and for A/B studies.
+  /// `gated_admission` suppresses placement retries for pending jobs until
+  /// computing qubits have been released since their last failed attempt
+  /// (capacity-signature rule; bypassed whenever the cloud is idle).
+  /// `gated_allocation` is NetworkSimulator::set_change_gated.
+  bool gated_admission = true;
+  bool gated_allocation = true;
 };
 
 /// Per-job outcome of one batch run. Times are simulation time units

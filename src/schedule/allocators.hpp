@@ -4,6 +4,17 @@
 // communication-qubit counts; the allocator decides how many redundant
 // EPR-generation pipelines each operation receives (0 = wait).
 //
+// Decision points are change-gated (see sim/network_sim.hpp): the
+// simulator only invokes the allocator when the free-comm vector or the
+// ready set changed since the last round, and — with routing enabled —
+// may invoke it several times per event until a round starts no
+// operation. Implementations must therefore be pure functions of
+// (requests, free_comm, rng): identical inputs must yield identical
+// grants, and an implementation must not rely on being called once per
+// simulated event. The three deterministic strategies below ignore `rng`
+// entirely, which is what makes gated and ungated event loops
+// bit-identical for them.
+//
 // Allocating x pairs to an op consumes x communication qubits on *both*
 // endpoint QPUs, mirroring the paper's note that resources on both machines
 // decrease by the allocated amount.

@@ -29,7 +29,13 @@ struct EprPath {
 /// Router interface: choose a path for a remote op given the current free
 /// communication qubits per QPU (`free_comm`). Returns nullopt when no
 /// usable path exists (e.g. an intermediate QPU has zero free qubits and
-/// every detour is saturated too).
+/// every detour is saturated too). nullopt is binding on the caller: the
+/// simulator requeues the operation until the congestion state changes —
+/// it never falls back to executing over the static hop count, which
+/// would silently bypass the saturated intermediates this contract is
+/// reporting. Implementations must be deterministic functions of their
+/// arguments (the change-gated event loop may consult them repeatedly on
+/// identical state and relies on identical answers).
 class EprRouter {
  public:
   virtual ~EprRouter() = default;

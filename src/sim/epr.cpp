@@ -1,6 +1,7 @@
 #include "sim/epr.hpp"
 
 #include <cmath>
+#include <cstdint>
 
 #include "common/check.hpp"
 
@@ -26,12 +27,13 @@ int EprModel::rounds_until_success(int hops, int pairs, Rng& rng) const {
   if (q >= 1.0) return 1;
   // Inverse-CDF sampling of the geometric distribution.
   const double u = rng.uniform();
-  const int rounds =
-      1 + static_cast<int>(std::floor(std::log1p(-u) / std::log1p(-q)));
-  // Cap pathological draws so one unlucky sample cannot stall a whole
-  // simulation (q can be ~1e-3 at p=0.1 over multiple hops).
-  constexpr int kMaxRounds = 100000;
-  return rounds < 1 ? 1 : (rounds > kMaxRounds ? kMaxRounds : rounds);
+  // The quotient can exceed INT_MAX for tiny q; clamp in double space
+  // before narrowing.
+  const double rounds =
+      1.0 + std::floor(std::log1p(-u) / std::log1p(-q));
+  if (rounds < 1.0) return 1;
+  if (rounds > kMaxStallRounds) return kMaxStallRounds;
+  return static_cast<int>(rounds);
 }
 
 double EprModel::expected_rounds(int hops, int pairs) const {
@@ -41,12 +43,15 @@ double EprModel::expected_rounds(int hops, int pairs) const {
 int EprModel::rounds_until_k_successes(int hops, int pairs, int k,
                                        Rng& rng) const {
   CLOUDQC_CHECK(k >= 1);
-  long total = 0;
+  // Always draw exactly k samples so the caller's RNG stream does not
+  // depend on where the cap bites, then truncate the total to the same
+  // stall cap as a single draw (see kMaxStallRounds in epr.hpp).
+  std::int64_t total = 0;
   for (int i = 0; i < k; ++i) {
     total += rounds_until_success(hops, pairs, rng);
   }
-  constexpr long kMaxRounds = 1000000;
-  return static_cast<int>(total > kMaxRounds ? kMaxRounds : total);
+  return total > kMaxStallRounds ? kMaxStallRounds
+                                 : static_cast<int>(total);
 }
 
 namespace purification {

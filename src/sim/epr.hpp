@@ -16,6 +16,18 @@ namespace cloudqc {
 
 class EprModel {
  public:
+  /// Stall cap shared by both samplers. rounds_until_success truncates a
+  /// single geometric draw to at most this many rounds, and
+  /// rounds_until_k_successes truncates the accumulated negative-binomial
+  /// total to the *same* bound, so the two paths cannot diverge by an
+  /// order of magnitude when the success probability collapses (p^hops can
+  /// be ~1e-9 at p=0.1 over a long path). The truncation biases the
+  /// sampled tail low — a capped draw reports kMaxStallRounds rounds even
+  /// though the true sample was larger — which is intentional: one
+  /// pathological draw must not stall a whole simulation. Results are
+  /// always in [1, kMaxStallRounds] and fit an int by construction.
+  static constexpr int kMaxStallRounds = 100000;
+
   explicit EprModel(double success_prob);
 
   double success_prob() const { return p_; }
@@ -29,6 +41,7 @@ class EprModel {
 
   /// Sample the number of attempt rounds until first success (geometric,
   /// support {1, 2, ...}) for `pairs` pipelines across `hops` links.
+  /// Truncated to kMaxStallRounds (see above).
   int rounds_until_success(int hops, int pairs, Rng& rng) const;
 
   /// Expected rounds until success (1/q) — used by deterministic time
@@ -37,7 +50,9 @@ class EprModel {
 
   /// Sample the rounds needed to accumulate `k` successes (entanglement
   /// purification needs several raw pairs per delivered pair): sum of k
-  /// independent geometric draws (negative binomial).
+  /// independent geometric draws (negative binomial). Exactly k draws are
+  /// consumed from `rng` regardless of truncation (RNG-stream stability),
+  /// then the total is truncated to kMaxStallRounds.
   int rounds_until_k_successes(int hops, int pairs, int k, Rng& rng) const;
 
  private:

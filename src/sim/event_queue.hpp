@@ -3,8 +3,9 @@
 // deterministic for a fixed seed.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <queue>
+#include <functional>
 #include <vector>
 
 #include "common/check.hpp"
@@ -18,7 +19,8 @@ class EventQueue {
  public:
   void push(SimTime time, Payload payload) {
     CLOUDQC_DCHECK(time >= 0.0);
-    heap_.push(Entry{time, next_seq_++, std::move(payload)});
+    heap_.push_back(Entry{time, next_seq_++, std::move(payload)});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   }
 
   bool empty() const { return heap_.empty(); }
@@ -26,14 +28,18 @@ class EventQueue {
 
   SimTime next_time() const {
     CLOUDQC_CHECK(!heap_.empty());
-    return heap_.top().time;
+    return heap_.front().time;
   }
 
-  /// Pop the earliest event; returns (time, payload).
+  /// Pop the earliest event; returns (time, payload). The payload is
+  /// *moved* out — the heap is a plain vector (std::priority_queue only
+  /// exposes a const top(), which would force a copy of payloads carrying
+  /// allocations, e.g. the simulator's per-gate reservation vectors).
   std::pair<SimTime, Payload> pop() {
     CLOUDQC_CHECK(!heap_.empty());
-    Entry e = heap_.top();
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    Entry e = std::move(heap_.back());
+    heap_.pop_back();
     return {e.time, std::move(e.payload)};
   }
 
@@ -47,7 +53,8 @@ class EventQueue {
       return seq > o.seq;
     }
   };
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  /// Min-heap over (time, seq) maintained with the std heap algorithms.
+  std::vector<Entry> heap_;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -54,7 +54,7 @@ int NetworkSimulator::add_job(const Circuit& circuit,
     for (const int g : jobs_.back().dag.front_layer()) {
       on_ready(id, g);
     }
-    allocate_and_start();
+    maybe_allocate();
   }
   return id;
 }
@@ -79,6 +79,7 @@ void NetworkSimulator::on_ready(int job_id, int gate) {
   Job& job = jobs_[static_cast<std::size_t>(job_id)];
   if (job.remote_of_gate[static_cast<std::size_t>(gate)] >= 0) {
     waiting_remote_.emplace_back(job_id, gate);
+    alloc_dirty_ = true;  // the waiting set grew: a new decision is due
   } else {
     start_local(job_id, gate);
   }
@@ -102,9 +103,25 @@ void NetworkSimulator::start_local(int job_id, int gate) {
   events_.push(now_ + gate_duration(job, gate), GateDone{job_id, gate, 0, {}});
 }
 
-void NetworkSimulator::allocate_and_start() {
-  if (waiting_remote_.empty()) return;
+void NetworkSimulator::maybe_allocate() {
+  if (!change_gated_ || alloc_dirty_) allocate_and_start();
+}
 
+void NetworkSimulator::allocate_and_start() {
+  alloc_dirty_ = false;
+  while (!waiting_remote_.empty()) {
+    const std::size_t started = run_allocation_round();
+    // Without a router the round is terminal: every grant was consumed in
+    // full, so the allocator's residual budget equals free_comm_ and a
+    // re-run hands out nothing. With a router, an op the allocator funded
+    // may have been blocked by a saturated path (its grant returned to the
+    // pool) — keep redistributing until a round starts nothing.
+    if (router_ == nullptr || started == 0) break;
+  }
+}
+
+std::size_t NetworkSimulator::run_allocation_round() {
+  ++alloc_rounds_;
   std::vector<CommRequest> requests;
   requests.reserve(waiting_remote_.size());
   for (const auto& [job_id, gate] : waiting_remote_) {
@@ -139,6 +156,7 @@ void NetworkSimulator::allocate_and_start() {
   }
 
   std::vector<std::pair<int, int>> still_waiting;
+  std::size_t started = 0;
   const LatencyModel& lat = cloud_.config().latency;
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     const auto [job_id, gate] = waiting_remote_[i];
@@ -156,13 +174,20 @@ void NetworkSimulator::allocate_and_start() {
     int x = pairs[i];
     if (router_ != nullptr) {
       const auto path = router_->route(cloud_, op.qpu_a, op.qpu_b, free_comm_);
-      if (path.has_value() && path->valid()) {
-        hops = path->hops();
-        // Entanglement swapping consumes qubits at every intermediate QPU;
-        // redundancy is capped by the tightest node on the path.
-        for (std::size_t j = 1; j + 1 < path->nodes.size(); ++j) {
-          reserved_on.push_back(path->nodes[j]);
-        }
+      if (!path.has_value() || !path->valid()) {
+        // Every usable path is saturated. The routing contract says this
+        // op cannot run right now — requeue it for the next decision
+        // point instead of executing it over the stale static hop count
+        // with endpoint-only reservation (which would bypass the very
+        // intermediates the router reported as exhausted).
+        still_waiting.emplace_back(job_id, gate);
+        continue;
+      }
+      hops = path->hops();
+      // Entanglement swapping consumes qubits at every intermediate QPU;
+      // redundancy is capped by the tightest node on the path.
+      for (std::size_t j = 1; j + 1 < path->nodes.size(); ++j) {
+        reserved_on.push_back(path->nodes[j]);
       }
       // Earlier ops in this batch may have consumed path/endpoint qubits
       // the allocator assumed free; cap by the tightest reserved node.
@@ -198,8 +223,10 @@ void NetworkSimulator::allocate_and_start() {
                                  fid.f_1q);
     events_.push(now_ + duration,
                  GateDone{job_id, gate, x, std::move(reserved_on)});
+    ++started;
   }
   waiting_remote_ = std::move(still_waiting);
+  return started;
 }
 
 void NetworkSimulator::finish_gate(const GateDone& done) {
@@ -208,6 +235,7 @@ void NetworkSimulator::finish_gate(const GateDone& done) {
     for (const QpuId q : done.reserved_on) {
       free_comm_[static_cast<std::size_t>(q)] += done.comm_pairs;
     }
+    alloc_dirty_ = true;  // released pairs may fund a waiting op
   }
   CLOUDQC_CHECK(job.gates_left > 0);
   --job.gates_left;
@@ -227,9 +255,13 @@ std::optional<JobCompletion> NetworkSimulator::step() {
   CLOUDQC_CHECK_MSG(!events_.empty(), "step() on an idle simulator");
   auto [time, done] = events_.pop();
   now_ = time;
+  ++events_processed_;
   finish_gate(done);
-  // Resources may have been freed and/or new remote gates became ready.
-  allocate_and_start();
+  // Run an allocation round only when this event freed communication
+  // pairs or readied a remote gate — on a no-op event a round provably
+  // starts nothing (deterministic allocators) or merely burns RNG
+  // (Random), so the change gate skips it.
+  maybe_allocate();
   Job& job = jobs_[static_cast<std::size_t>(done.job)];
   if (job.gates_left == 0 && !job.done) {
     job.done = true;

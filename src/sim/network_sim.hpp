@@ -4,6 +4,19 @@
 // pluggable CommAllocator hands out at every decision point (Algorithm 3's
 // main loop). EPR generation is probabilistic per the EprModel.
 //
+// Decision points are *change-gated*: an allocation round only fires when
+// the communication-resource state actually changed — a completed remote
+// gate released its pairs, or a newly ready remote gate joined the wait
+// queue. Events that free no communication qubits and ready no remote ops
+// (the bulk of the event stream for local-gate-heavy circuits) skip the
+// allocator entirely. For RNG-free allocators (CloudQC/Greedy/Average)
+// this is a pure no-op elimination — a repeated round on unchanged state
+// provably starts nothing — so completion records are bit-identical to the
+// ungated event loop; the Random allocator consumes RNG per round, so its
+// trajectory changes but stays deterministic per seed. The ungated loop is
+// kept behind set_change_gated(false) as the regression baseline
+// (bench_network_sim fails CI when gating stops paying for itself).
+//
 // The simulator supports dynamic job admission, which is how the
 // multi-tenant engine (core/multi_tenant.hpp) runs concurrent tenants on a
 // shared network.
@@ -52,9 +65,13 @@ class NetworkSimulator {
   /// When `router` is non-null, each multi-hop remote operation is routed
   /// at start time against the live congestion state, and communication
   /// qubits are reserved on every QPU along the chosen path (entanglement
-  /// swapping at intermediate nodes consumes qubits there too). With a null
-  /// router, ops use the static hop distance from placement time and only
-  /// endpoint qubits are accounted — the paper's simpler model.
+  /// swapping at intermediate nodes consumes qubits there too). A router
+  /// returning nullopt means every usable path is saturated: the operation
+  /// is requeued and retried at the next decision point — it is never
+  /// executed over the static hop model while the network says it cannot
+  /// be routed. With a null router, ops use the static hop distance from
+  /// placement time and only endpoint qubits are accounted — the paper's
+  /// simpler model.
   NetworkSimulator(const QuantumCloud& cloud, const CommAllocator& allocator,
                    Rng rng, const EprRouter* router = nullptr);
 
@@ -92,6 +109,24 @@ class NetworkSimulator {
   /// counter used by benches and tests.
   std::uint64_t total_epr_rounds() const { return total_epr_rounds_; }
 
+  /// Change-gated decision points (default on): allocation rounds fire
+  /// only when communication pairs were released or a remote gate became
+  /// ready. `false` disables only the change gate, making decision points
+  /// fire after *every* event — the baseline bench_network_sim and the
+  /// parity tests compare against. It does not restore pre-gating
+  /// behavior wholesale: the router-stall requeue and the routed
+  /// fixed-point rounds apply in both modes.
+  void set_change_gated(bool enabled) { change_gated_ = enabled; }
+  bool change_gated() const { return change_gated_; }
+
+  /// Events processed so far (step() calls) — the events/sec numerator.
+  std::uint64_t num_events_processed() const { return events_processed_; }
+
+  /// Allocation rounds in which the allocator was actually invoked (the
+  /// wait queue was non-empty). Gating shrinks this without changing
+  /// completions for deterministic allocators.
+  std::uint64_t num_allocation_rounds() const { return alloc_rounds_; }
+
  private:
   struct GateDone {
     int job;
@@ -117,12 +152,21 @@ class NetworkSimulator {
   };
 
   /// Gate became ready: local gates start immediately; remote gates join
-  /// the wait queue for the next allocation round.
+  /// the wait queue for the next allocation round (and mark it dirty).
   void on_ready(int job, int gate);
   void start_local(int job, int gate);
-  /// Run the allocator over all waiting remote ops and start the funded
-  /// ones.
+  /// Run allocation rounds over the waiting remote ops and start the
+  /// funded ones. Without a router one round is terminal (a second round
+  /// on the residual budget provably starts nothing); with a router,
+  /// rounds repeat until a fixed point because a funded op can be blocked
+  /// by a saturated path without consuming its grant, leaving budget the
+  /// next round may redistribute.
   void allocate_and_start();
+  /// One allocator round; returns the number of operations started.
+  std::size_t run_allocation_round();
+  /// Invoke allocate_and_start() only when the resource state changed
+  /// since the last round (always, when change gating is off).
+  void maybe_allocate();
   void finish_gate(const GateDone& done);
   double gate_duration(const Job& job, int gate) const;
 
@@ -139,6 +183,12 @@ class NetworkSimulator {
   std::vector<int> free_comm_;
   SimTime now_ = 0.0;
   std::uint64_t total_epr_rounds_ = 0;
+  /// True when comm pairs were released or the waiting set grew since the
+  /// last allocation round — the change-gate for the next decision point.
+  bool alloc_dirty_ = false;
+  bool change_gated_ = true;
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t alloc_rounds_ = 0;
 };
 
 }  // namespace cloudqc

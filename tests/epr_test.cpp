@@ -66,6 +66,50 @@ TEST(EprModel, MultiHopIsSlower) {
   EXPECT_GT(m.expected_rounds(3, 1), m.expected_rounds(1, 1));
 }
 
+TEST(EprModel, StallCapBoundsEverySingleDraw) {
+  // q = 1e-9: the mean geometric draw is ~1e9 rounds, so essentially
+  // every sample hits the shared stall cap; a sample escapes the cap only
+  // when u < ~1e-4 (the uncapped short draws must still be >= 1).
+  const EprModel m(1e-9);
+  Rng rng(3);
+  int capped = 0;
+  for (int i = 0; i < 500; ++i) {
+    const int r = m.rounds_until_success(1, 1, rng);
+    ASSERT_GE(r, 1);
+    ASSERT_LE(r, EprModel::kMaxStallRounds);
+    if (r == EprModel::kMaxStallRounds) ++capped;
+  }
+  EXPECT_GE(capped, 490);
+}
+
+TEST(EprModel, StallCapBoundsKSuccessTotalToSameConstant) {
+  // Four almost-surely-capped draws would sum to ~4e5; the accumulated
+  // total must truncate to the *same* named cap as a single draw (the
+  // caps used to differ by 10x with a silent narrowing cast).
+  const EprModel m(1e-9);
+  Rng rng(5);
+  EXPECT_EQ(m.rounds_until_k_successes(1, 1, 4, rng),
+            EprModel::kMaxStallRounds);
+}
+
+TEST(EprModel, StallCapIdleWhenSuccessIsCertain) {
+  const EprModel m(1.0);
+  Rng rng(7);
+  EXPECT_EQ(m.rounds_until_success(1, 1, rng), 1);
+  EXPECT_EQ(m.rounds_until_k_successes(1, 1, 4, rng), 4);
+}
+
+TEST(EprModel, KSuccessConsumesExactlyKDrawsRegardlessOfCap) {
+  // RNG-stream stability: truncation must not change how many samples are
+  // drawn, so two generators stay in lockstep whether or not the cap bit.
+  const EprModel m(1e-9);
+  Rng a(11);
+  Rng b(11);
+  (void)m.rounds_until_k_successes(1, 1, 3, a);
+  for (int i = 0; i < 3; ++i) (void)m.rounds_until_success(1, 1, b);
+  EXPECT_EQ(a(), b());
+}
+
 // Property sweep: sampled geometric means track 1/q for all (p, hops,
 // pairs) combinations.
 class EprProperty

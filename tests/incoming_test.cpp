@@ -1,12 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "circuit/generators.hpp"
 #include "circuit/workloads.hpp"
 #include "core/incoming.hpp"
 #include "graph/topology.hpp"
+#include "test_doubles.hpp"
 
 namespace cloudqc {
 namespace {
+
+using testing::CountingPlacer;
 
 QuantumCloud paper_cloud(std::uint64_t seed = 1) {
   CloudConfig cfg;
@@ -109,6 +114,51 @@ TEST(PoissonTrace, MeanGapRoughlyHonoured) {
   const auto trace = poisson_trace({"ising_n34"}, 400, 50.0, rng);
   const double mean_gap = trace.back().arrival / 400.0;
   EXPECT_NEAR(mean_gap, 50.0, 10.0);
+}
+
+TEST(Incoming, AdmissionGateSuppressesRetriesWithoutRelease) {
+  // A 2x10-qubit cloud runs at most one 16-qubit job at a time. Four more
+  // jobs arrive while the first is running: each arrival used to re-run a
+  // placement for *every* queued job; the capacity signature limits
+  // arrival-time attempts to the newcomer (nothing was released since the
+  // queued jobs last failed). The annealing placer fails before touching
+  // the RNG when capacity is short, so the gated run must be bit-identical
+  // to the ungated baseline while doing strictly fewer placement calls.
+  CloudConfig cfg;
+  cfg.num_qpus = 2;
+  cfg.computing_qubits_per_qpu = 10;
+  cfg.comm_qubits_per_qpu = 5;
+  cfg.epr_success_prob = 1.0;
+
+  std::vector<ArrivingJob> trace;
+  for (int i = 0; i < 5; ++i) {
+    trace.push_back({gen::ghz(16), static_cast<SimTime>(i)});
+  }
+
+  auto run = [&](bool gated) {
+    QuantumCloud cloud(cfg, ring_topology(2));
+    CountingPlacer placer(make_annealing_placer(300));
+    IncomingOptions options;
+    options.seed = 21;
+    options.gated_admission = gated;
+    options.gated_allocation = gated;
+    auto stats = run_incoming(trace, cloud, placer, *make_cloudqc_allocator(),
+                              options);
+    return std::pair<std::uint64_t, std::vector<IncomingJobStats>>{
+        placer.calls(), std::move(stats)};
+  };
+  const auto [gated_calls, gated_stats] = run(true);
+  const auto [ungated_calls, ungated_stats] = run(false);
+
+  EXPECT_LT(gated_calls, ungated_calls);
+  ASSERT_EQ(gated_stats.size(), ungated_stats.size());
+  for (std::size_t i = 0; i < gated_stats.size(); ++i) {
+    EXPECT_EQ(gated_stats[i].placed_time, ungated_stats[i].placed_time);
+    EXPECT_EQ(gated_stats[i].completion_time,
+              ungated_stats[i].completion_time);
+    EXPECT_EQ(gated_stats[i].est_fidelity, ungated_stats[i].est_fidelity);
+    EXPECT_GE(gated_stats[i].placed_time, gated_stats[i].arrival);
+  }
 }
 
 TEST(Incoming, HigherLoadIncreasesMeanJct) {

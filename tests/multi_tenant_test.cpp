@@ -1,13 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "circuit/generators.hpp"
 #include "circuit/workloads.hpp"
 #include "core/multi_tenant.hpp"
 #include "graph/topology.hpp"
 #include "placement/placement.hpp"
+#include "test_doubles.hpp"
 
 namespace cloudqc {
 namespace {
+
+using testing::CountingPlacer;
 
 QuantumCloud paper_cloud(std::uint64_t seed = 1) {
   CloudConfig cfg;  // paper defaults: 20 QPUs, 20 computing + 5 comm qubits
@@ -104,6 +109,48 @@ TEST(MultiTenant, DeterministicForSeed) {
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_DOUBLE_EQ(a[i].completion_time, b[i].completion_time);
+  }
+}
+
+TEST(MultiTenant, AdmissionGateParityWithUngatedBaseline) {
+  // Eight 8-qubit jobs on a 3x10-qubit cloud (three resident at a time).
+  // The annealing placer fails without consuming RNG whenever capacity is
+  // short, so the capacity-signature gate may only skip attempts that
+  // would have failed anyway: gated and ungated runs must agree exactly,
+  // with the gated run doing no more placement calls.
+  CloudConfig cfg;
+  cfg.num_qpus = 3;
+  cfg.computing_qubits_per_qpu = 10;
+  cfg.comm_qubits_per_qpu = 5;
+  cfg.epr_success_prob = 1.0;
+
+  std::vector<Circuit> jobs;
+  for (int i = 0; i < 8; ++i) jobs.push_back(gen::ghz(8));
+
+  auto run = [&](bool gated) {
+    QuantumCloud cloud(cfg, ring_topology(3));
+    CountingPlacer placer(make_annealing_placer(300));
+    MultiTenantOptions options;
+    options.fifo = true;
+    options.seed = 33;
+    options.gated_admission = gated;
+    options.gated_allocation = gated;
+    auto stats =
+        run_batch(jobs, cloud, placer, *make_cloudqc_allocator(), options);
+    return std::pair<std::uint64_t, std::vector<TenantJobStats>>{
+        placer.calls(), std::move(stats)};
+  };
+  const auto [gated_calls, gated_stats] = run(true);
+  const auto [ungated_calls, ungated_stats] = run(false);
+
+  EXPECT_LE(gated_calls, ungated_calls);
+  ASSERT_EQ(gated_stats.size(), ungated_stats.size());
+  for (std::size_t i = 0; i < gated_stats.size(); ++i) {
+    EXPECT_EQ(gated_stats[i].placed_time, ungated_stats[i].placed_time);
+    EXPECT_EQ(gated_stats[i].completion_time,
+              ungated_stats[i].completion_time);
+    EXPECT_EQ(gated_stats[i].est_fidelity, ungated_stats[i].est_fidelity);
+    EXPECT_GT(gated_stats[i].completion_time, 0.0);
   }
 }
 

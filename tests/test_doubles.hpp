@@ -1,0 +1,40 @@
+// Shared test doubles for the engine suites (not a ctest target: only
+// tests/*_test.cpp files become test binaries).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "placement/placement.hpp"
+
+namespace cloudqc::testing {
+
+/// Forwards to a real placer and counts place() calls — used by the
+/// admission-gate suites to prove that suppressed retries actually skip
+/// the placer.
+class CountingPlacer final : public Placer {
+ public:
+  explicit CountingPlacer(std::unique_ptr<Placer> inner)
+      : inner_(std::move(inner)) {}
+
+  std::string name() const override {
+    return "counting(" + inner_->name() + ")";
+  }
+
+  std::optional<Placement> place(const Circuit& circuit,
+                                 const QuantumCloud& cloud,
+                                 Rng& rng) const override {
+    ++calls_;
+    return inner_->place(circuit, cloud, rng);
+  }
+
+  std::uint64_t calls() const { return calls_; }
+
+ private:
+  std::unique_ptr<Placer> inner_;
+  mutable std::uint64_t calls_ = 0;
+};
+
+}  // namespace cloudqc::testing
