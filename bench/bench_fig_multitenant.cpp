@@ -15,18 +15,25 @@ struct Mix {
   const std::vector<std::string>* names;
 };
 
-std::vector<double> run_variant(const std::vector<Circuit>& jobs,
+// Each variant is a programmatic ScenarioSpec through run_scenario()
+// (core/scenario.hpp) — the same engine path as the scenarios/ text
+// specs, so bench and scenario results cannot drift. The spec reproduces
+// the pre-scenario hand-wiring exactly: cloud = ER(0.3) drawn from
+// Rng(topo_seed), run_batch seeded with topo_seed * 31 + 7.
+std::vector<double> run_variant(const std::vector<std::string>& job_names,
                                 std::uint64_t topo_seed, bool fifo, bool bfs) {
-  QuantumCloud cloud = bench::default_cloud(topo_seed);
-  const auto placer = bfs ? make_cloudqc_bfs_placer() : make_cloudqc_placer();
-  const auto alloc = make_cloudqc_allocator();
-  MultiTenantOptions opt;
-  opt.fifo = fifo;
-  opt.seed = topo_seed * 31 + 7;
-  const auto stats = run_batch(jobs, cloud, *placer, *alloc, opt);
+  ScenarioSpec spec;
+  spec.cloud.family = TopologyFamily::kRandom;
+  spec.cloud.topology_seed = topo_seed;
+  spec.workload.circuits = job_names;
+  spec.engine.mode = EngineMode::kMultiTenant;
+  spec.engine.placer = bfs ? PlacerKind::kBfs : PlacerKind::kCloudQC;
+  spec.engine.fifo = fifo;
+  spec.engine.seed = topo_seed * 31 + 7;
+  const ScenarioResult result = run_scenario(spec);
   std::vector<double> jct;
-  jct.reserve(stats.size());
-  for (const auto& s : stats) jct.push_back(s.completion_time);
+  jct.reserve(result.jobs.size());
+  for (const auto& job : result.jobs) jct.push_back(job.completion_time);
   return jct;
 }
 
@@ -55,9 +62,9 @@ int main() {
     std::vector<double> jct_cq, jct_bfs, jct_fifo;
     Rng pick_rng(1234);
     for (int b = 0; b < batches; ++b) {
-      std::vector<Circuit> jobs;
+      std::vector<std::string> jobs;
       for (int j = 0; j < batch_size; ++j) {
-        jobs.push_back(make_workload(pick_rng.pick(*mix.names)));
+        jobs.push_back(pick_rng.pick(*mix.names));
       }
       for (int t = 0; t < topologies; ++t) {
         const std::uint64_t topo_seed =

@@ -1,0 +1,110 @@
+// Declarative scenario runner: execute one scenario spec file and print
+// its per-job table plus the aggregate metrics. The companion directory
+// scenarios/ holds committed specs; docs/SCENARIOS.md is the key
+// reference.
+//
+//   scenario_runner <spec.ini> [--json [dir]] [--quiet]
+//
+// --json writes BENCH_scenario_<name>.json (into dir, else
+// $CLOUDQC_BENCH_JSON_DIR, else the working directory) — the same flat
+// artifact format the CI bench-smoke job uploads.
+#include <cstdio>
+#include <exception>
+#include <sstream>
+#include <string>
+
+#include "common/csv.hpp"
+#include "core/scenario.hpp"
+
+using namespace cloudqc;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <scenario.ini> [--json [dir]] [--quiet]\n"
+               "  --json   also write BENCH_scenario_<name>.json\n"
+               "  --quiet  suppress the per-job table\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  std::string spec_path;
+  std::string json_dir;
+  bool write_json = false, quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      write_json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') json_dir = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    } else if (spec_path.empty()) {
+      spec_path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (spec_path.empty()) return usage(argv[0]);
+
+  try {
+    const ScenarioSpec spec = load_scenario_file(spec_path);
+    const ScenarioResult result = run_scenario(spec);
+
+    std::printf("=== scenario %s ===\n", result.scenario.c_str());
+    std::printf("engine: %s | cloud: %s x%d (%s capacities)\n",
+                result.engine.c_str(), to_string(spec.cloud.family).c_str(),
+                spec.cloud.num_qpus, to_string(spec.cloud.profile).c_str());
+    if (!quiet) {
+      TextTable table({"job", "arrival", "placed@", "done@", "remote ops",
+                       "QPUs", "fidelity"});
+      for (const auto& job : result.jobs) {
+        if (!job.placed) {
+          table.add_row({job.name, "-", "unplaced", "-", "-", "-", "-"});
+          continue;
+        }
+        table.add_row({job.name, fmt_double(job.arrival, 1),
+                       fmt_double(job.placed_time, 1),
+                       fmt_double(job.completion_time, 1),
+                       std::to_string(job.remote_ops),
+                       std::to_string(job.qpus_used),
+                       fmt_double(job.est_fidelity, 4)});
+      }
+      std::ostringstream os;
+      table.print(os);
+      std::fputs(os.str().c_str(), stdout);
+    }
+    std::printf(
+        "jobs: %zu | makespan: %.1f | mean JCT: %.1f | mean fidelity: %.4f\n",
+        result.jobs.size(), result.makespan, result.mean_jct,
+        result.mean_fidelity);
+    std::printf("placement calls: %zu | wall: %.3fs", result.placement_calls,
+                result.wall_seconds);
+    if (result.events_processed > 0) {
+      std::printf(" | events: %llu | allocation rounds: %llu",
+                  static_cast<unsigned long long>(result.events_processed),
+                  static_cast<unsigned long long>(result.allocation_rounds));
+    }
+    std::printf("\n");
+
+    if (write_json) {
+      const std::string path = write_bench_json(result, json_dir);
+      if (path.empty()) {
+        std::fprintf(stderr, "error: could not write BENCH json\n");
+        return 1;
+      }
+      std::printf("wrote %s\n", path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

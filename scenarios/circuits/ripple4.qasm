@@ -1,0 +1,19 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// Tiny ripple pattern over 2 registers (the parser flattens qregs in
+// declaration order: a[0..3] -> qubits 0..3, b[0..3] -> qubits 4..7).
+qreg a[4];
+qreg b[4];
+creg c[8];
+x a[0];
+x a[2];
+cx a[0],b[0];
+cx a[1],b[1];
+cx a[2],b[2];
+cx a[3],b[3];
+ccx a[0],b[0],b[1];
+ccx a[1],b[1],b[2];
+cx b[2],b[3];
+h b[0];
+measure a -> c;
+measure b -> c;

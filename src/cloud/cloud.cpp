@@ -18,6 +18,30 @@ QuantumCloud::QuantumCloud(const CloudConfig& config, Graph topology)
                    config.comm_qubits_per_qpu));
 }
 
+QuantumCloud::QuantumCloud(const CloudConfig& config, Graph topology,
+                           const std::vector<QpuCapacity>& capacities)
+    : config_(config), topology_(std::move(topology)), hops_(topology_) {
+  CLOUDQC_CHECK(topology_.num_nodes() == config.num_qpus);
+  CLOUDQC_CHECK(capacities.size() ==
+                static_cast<std::size_t>(config.num_qpus));
+  qpus_.reserve(capacities.size());
+  for (const QpuCapacity& cap : capacities) {
+    qpus_.emplace_back(cap.computing, cap.comm);
+  }
+}
+
+int QuantumCloud::total_computing_capacity() const {
+  int total = 0;
+  for (const auto& q : qpus_) total += q.computing_capacity();
+  return total;
+}
+
+int QuantumCloud::total_comm_capacity() const {
+  int total = 0;
+  for (const auto& q : qpus_) total += q.comm_capacity();
+  return total;
+}
+
 Qpu& QuantumCloud::qpu(QpuId id) {
   CLOUDQC_CHECK(id >= 0 && id < static_cast<QpuId>(qpus_.size()));
   return qpus_[static_cast<std::size_t>(id)];

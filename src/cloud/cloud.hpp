@@ -13,6 +13,11 @@
 
 namespace cloudqc {
 
+/// Cloud-wide configuration: topology size, per-QPU resource defaults and
+/// the physical-layer models. Heterogeneous clouds override the per-QPU
+/// capacities via the QuantumCloud capacity-vector constructor; the
+/// `*_qubits_per_qpu` fields then act as the profile *average* (see
+/// cloud/topologies.hpp).
 struct CloudConfig {
   int num_qpus = 20;                 // paper default
   int computing_qubits_per_qpu = 20; // paper default
@@ -36,16 +41,35 @@ class QuantumCloud {
   /// Build a cloud over an explicit topology (QPU i = node i).
   QuantumCloud(const CloudConfig& config, Graph topology);
 
+  /// Build a heterogeneous cloud: QPU i gets capacities[i] instead of the
+  /// uniform per-QPU counts in `config`. Requires capacities.size() ==
+  /// topology.num_nodes() == config.num_qpus.
+  QuantumCloud(const CloudConfig& config, Graph topology,
+               const std::vector<QpuCapacity>& capacities);
+
+  /// Number of QPUs (== topology().num_nodes()).
   int num_qpus() const { return static_cast<int>(qpus_.size()); }
+  /// The fixed QPU-network graph (node i = QPU i).
   const Graph& topology() const { return topology_; }
+  /// The configuration this cloud was built from.
   const CloudConfig& config() const { return config_; }
 
+  /// The QPU with id `id` (checked; ids are 0..num_qpus()-1).
   Qpu& qpu(QpuId id);
   const Qpu& qpu(QpuId id) const;
 
   /// Hop distance between two QPUs (the placement cost C_ij); -1 never
   /// occurs because topologies are connected by construction.
   int distance(QpuId a, QpuId b) const { return hops_(a, b); }
+
+  /// Sum of computing-qubit capacities across the cloud (heterogeneous
+  /// clouds may differ from num_qpus * config().computing_qubits_per_qpu's
+  /// uniform value only in distribution, never in this total — see the
+  /// sum-conserving capacity profiles in cloud/topologies.hpp).
+  int total_computing_capacity() const;
+
+  /// Sum of communication-qubit capacities across the cloud.
+  int total_comm_capacity() const;
 
   /// Sum of free computing qubits across the cloud.
   int total_free_computing() const;

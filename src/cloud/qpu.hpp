@@ -12,6 +12,15 @@ namespace cloudqc {
 
 using QpuId = NodeId;
 
+/// Per-QPU capacity pair used to build heterogeneous clouds (see
+/// cloud/topologies.hpp capacity profiles). Both counts are >= 0.
+struct QpuCapacity {
+  int computing = 0;
+  int comm = 0;
+};
+
+/// One quantum processing unit: fixed capacities plus the controller's
+/// live view of qubits in use.
 class Qpu {
  public:
   Qpu() = default;
@@ -21,10 +30,14 @@ class Qpu {
     CLOUDQC_CHECK(computing_capacity >= 0 && comm_capacity >= 0);
   }
 
+  /// Total computing qubits this QPU owns (fixed at construction).
   int computing_capacity() const { return computing_capacity_; }
+  /// Total communication qubits this QPU owns (fixed at construction).
   int comm_capacity() const { return comm_capacity_; }
 
+  /// Computing qubits currently reserved by placed sub-circuits.
   int computing_in_use() const { return computing_in_use_; }
+  /// Communication qubits currently reserved by in-flight remote ops.
   int comm_in_use() const { return comm_in_use_; }
 
   /// Free computing qubits (the controller's Rem(V_i)).

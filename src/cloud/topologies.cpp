@@ -1,0 +1,228 @@
+#include "cloud/topologies.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/enum_names.hpp"
+#include "common/rng.hpp"
+#include "graph/topology.hpp"
+
+namespace cloudqc {
+
+namespace {
+
+constexpr EnumName<TopologyFamily> kFamilyNames[] = {
+    {TopologyFamily::kRandom, "random"},
+    {TopologyFamily::kLine, "line"},
+    {TopologyFamily::kRing, "ring"},
+    {TopologyFamily::kGrid, "grid"},
+    {TopologyFamily::kTorus, "torus"},
+    {TopologyFamily::kStar, "star"},
+    {TopologyFamily::kComplete, "complete"},
+    {TopologyFamily::kDumbbell, "dumbbell"},
+    {TopologyFamily::kFatTree, "fat_tree"},
+};
+
+constexpr EnumName<CapacityProfile> kProfileNames[] = {
+    {CapacityProfile::kUniform, "uniform"},
+    {CapacityProfile::kSkewed, "skewed"},
+    {CapacityProfile::kBimodal, "bimodal"},
+};
+
+/// rows/cols for grid-family specs: validates explicit dimensions against
+/// num_qpus, fills missing ones (most-square factorisation when both are
+/// absent, so 20 QPUs become 4x5, 16 become 4x4, primes degrade to 1xn).
+std::pair<NodeId, NodeId> grid_dims(const CloudSpec& spec) {
+  const int n = spec.num_qpus;
+  int rows = spec.rows, cols = spec.cols;
+  if (rows < 0 || cols < 0) {
+    throw std::invalid_argument("grid dimensions must be non-negative");
+  }
+  if (rows == 0 && cols == 0) {
+    for (rows = std::max(1, static_cast<int>(std::sqrt(
+                                static_cast<double>(n))));
+         n % rows != 0; --rows) {
+    }
+    cols = n / rows;
+  } else if (rows == 0 || cols == 0) {
+    // One dimension given: derive the other, preserving which axis the
+    // caller fixed ('cols = 5' must yield a 5-column grid, not 5 rows).
+    const int given = std::max(rows, cols);
+    if (n % given != 0) {
+      throw std::invalid_argument(
+          "grid dimension does not divide num_qpus");
+    }
+    if (rows == 0) {
+      rows = n / given;
+    } else {
+      cols = n / given;
+    }
+  } else if (rows * cols != n) {
+    throw std::invalid_argument("rows * cols must equal num_qpus");
+  }
+  return {static_cast<NodeId>(rows), static_cast<NodeId>(cols)};
+}
+
+/// Largest-remainder apportionment of `total` units over `weights`
+/// (deterministic: remainder ties break toward the lower index). Every
+/// entry additionally receives `floor_each` up front.
+std::vector<int> apportion(std::int64_t total,
+                           const std::vector<std::int64_t>& weights,
+                           int floor_each) {
+  const std::int64_t w_sum =
+      std::accumulate(weights.begin(), weights.end(), std::int64_t{0});
+  const std::size_t n = weights.size();
+  std::vector<int> out(n, floor_each);
+  if (total <= 0 || w_sum <= 0) return out;
+  std::vector<std::pair<std::int64_t, std::size_t>> fracs;  // (-frac, idx)
+  fracs.reserve(n);
+  std::int64_t assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t share = total * weights[i];
+    out[i] += static_cast<int>(share / w_sum);
+    assigned += share / w_sum;
+    fracs.emplace_back(-(share % w_sum), i);
+  }
+  std::sort(fracs.begin(), fracs.end());
+  const std::int64_t leftover = total - assigned;  // < weights.size()
+  for (std::int64_t k = 0; k < leftover; ++k) {
+    out[fracs[static_cast<std::size_t>(k)].second] += 1;
+  }
+  return out;
+}
+
+/// One capacity column (computing or comm) for the given profile. `base`
+/// is the per-QPU uniform value; sums to n * base for every profile, with
+/// a minimum of 1 per QPU.
+std::vector<int> profile_column(CapacityProfile profile, int n, int base) {
+  if (base < 1) {
+    throw std::invalid_argument(
+        "capacity profiles need a per-QPU base of at least 1");
+  }
+  const std::int64_t total = std::int64_t{n} * base;
+  switch (profile) {
+    case CapacityProfile::kUniform:
+      return std::vector<int>(static_cast<std::size_t>(n), base);
+    case CapacityProfile::kSkewed: {
+      // Linear ramp: QPU i weighted n - i, on top of the min-1 floor.
+      std::vector<std::int64_t> weights(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        weights[static_cast<std::size_t>(i)] = n - i;
+      }
+      return apportion(total - n, weights, 1);
+    }
+    case CapacityProfile::kBimodal: {
+      // First half "large" (base + base/2), second half "small"
+      // (base - base/2); the odd-n remainder is returned one unit at a
+      // time round-robin from QPU 0 so the column still sums to n * base.
+      const int half = base / 2;
+      const int large_count = n / 2;
+      std::vector<int> out(static_cast<std::size_t>(n), base - half);
+      for (int i = 0; i < large_count; ++i) {
+        out[static_cast<std::size_t>(i)] = base + half;
+      }
+      std::int64_t sum = 0;
+      for (int c : out) sum += c;
+      for (int j = 0; sum < total; ++j, ++sum) {
+        out[static_cast<std::size_t>(j % n)] += 1;
+      }
+      return out;
+    }
+  }
+  throw std::invalid_argument("unknown capacity profile");
+}
+
+}  // namespace
+
+TopologyFamily parse_topology_family(const std::string& name) {
+  return parse_enum(kFamilyNames, name, "topology family");
+}
+
+std::string to_string(TopologyFamily family) {
+  return enum_name(kFamilyNames, family);
+}
+
+CapacityProfile parse_capacity_profile(const std::string& name) {
+  return parse_enum(kProfileNames, name, "capacity profile");
+}
+
+std::string to_string(CapacityProfile profile) {
+  return enum_name(kProfileNames, profile);
+}
+
+std::vector<std::string> topology_family_names() {
+  return enum_names(kFamilyNames);
+}
+
+std::vector<std::string> capacity_profile_names() {
+  return enum_names(kProfileNames);
+}
+
+Graph build_topology(const CloudSpec& spec) {
+  const int n = spec.num_qpus;
+  if (n < 1) throw std::invalid_argument("num_qpus must be >= 1");
+  switch (spec.family) {
+    case TopologyFamily::kRandom: {
+      Rng rng(spec.topology_seed);
+      return random_topology(n, spec.config.link_probability, rng);
+    }
+    case TopologyFamily::kLine:
+      return line_topology(n);
+    case TopologyFamily::kRing:
+      return ring_topology(n);
+    case TopologyFamily::kGrid: {
+      const auto [rows, cols] = grid_dims(spec);
+      return grid_topology(rows, cols);
+    }
+    case TopologyFamily::kTorus: {
+      const auto [rows, cols] = grid_dims(spec);
+      return torus_topology(rows, cols);
+    }
+    case TopologyFamily::kStar:
+      return star_topology(n);
+    case TopologyFamily::kComplete:
+      return complete_topology(n);
+    case TopologyFamily::kDumbbell: {
+      const NodeId left = n - n / 2, right = n / 2;
+      if (right < 1) {
+        throw std::invalid_argument("dumbbell needs at least 2 QPUs");
+      }
+      if (spec.bridge_width < 1 || spec.bridge_width > right) {
+        throw std::invalid_argument(
+            "bridge_width must be in [1, num_qpus / 2]");
+      }
+      return dumbbell_topology(left, right, spec.bridge_width);
+    }
+    case TopologyFamily::kFatTree:
+      if (spec.fanout < 2) {
+        throw std::invalid_argument("fat_tree fanout must be >= 2");
+      }
+      return fat_tree_topology(n, spec.fanout);
+  }
+  throw std::invalid_argument("unknown topology family");
+}
+
+std::vector<QpuCapacity> build_capacities(const CloudSpec& spec) {
+  const int n = spec.num_qpus;
+  if (n < 1) throw std::invalid_argument("num_qpus must be >= 1");
+  const std::vector<int> computing = profile_column(
+      spec.profile, n, spec.config.computing_qubits_per_qpu);
+  const std::vector<int> comm =
+      profile_column(spec.profile, n, spec.config.comm_qubits_per_qpu);
+  std::vector<QpuCapacity> caps(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    caps[i] = {computing[i], comm[i]};
+  }
+  return caps;
+}
+
+QuantumCloud build_cloud(const CloudSpec& spec) {
+  CloudConfig config = spec.config;
+  config.num_qpus = spec.num_qpus;
+  return QuantumCloud(config, build_topology(spec), build_capacities(spec));
+}
+
+}  // namespace cloudqc

@@ -1,0 +1,100 @@
+// Structured cloud shapes for the scenario engine: deterministic topology
+// families beyond the paper's Erdős–Rényi default, plus heterogeneous
+// per-QPU capacity profiles. Every shape is a plain (Graph, capacities,
+// CloudConfig) triple, so clouds built here are usable by every engine —
+// batch, incoming, multi-tenant and the network simulator — unchanged.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/cloud.hpp"
+#include "graph/graph.hpp"
+
+namespace cloudqc {
+
+/// Topology families available to scenarios. All are deterministic: the
+/// same spec always yields the same graph (kRandom additionally keys on
+/// CloudSpec::topology_seed).
+enum class TopologyFamily {
+  kRandom,    ///< connected Erdős–Rényi G(n, p) — the paper's default
+  kLine,      ///< n-node path (worst-case diameter)
+  kRing,      ///< n-node cycle
+  kGrid,      ///< rows x cols 2-D mesh
+  kTorus,     ///< rows x cols 2-D mesh with wrap-around links
+  kStar,      ///< one hub + n-1 leaves (hub is the universal cut node)
+  kComplete,  ///< all-to-all (distance-1 everywhere; placement upper bound)
+  kDumbbell,  ///< two complete clusters joined by a thin bridge
+  kFatTree,   ///< fanout-ary tree with sibling cliques (hierarchical DC)
+};
+
+/// Heterogeneous per-QPU capacity profiles. All profiles conserve the
+/// cloud-wide totals of the uniform baseline (num_qpus * per-QPU config
+/// value), so scenarios differing only in profile offer identical
+/// aggregate resources — any metric difference is distributional.
+enum class CapacityProfile {
+  kUniform,  ///< every QPU gets the config value exactly
+  kSkewed,   ///< linear ramp: QPU 0 richest, QPU n-1 poorest
+  kBimodal,  ///< half "large" QPUs (~1.5x), half "small" (~0.5x)
+};
+
+/// Parse "grid", "fat_tree", … into the enum. Throws std::invalid_argument
+/// on unknown names (the scenario parser converts that into a
+/// ScenarioError with a line number).
+TopologyFamily parse_topology_family(const std::string& name);
+
+/// Canonical lower-case name of `family` ("random", "grid", "fat_tree"…).
+std::string to_string(TopologyFamily family);
+
+/// Parse "uniform" / "skewed" / "bimodal" into the enum. Throws
+/// std::invalid_argument on unknown names.
+CapacityProfile parse_capacity_profile(const std::string& name);
+
+/// Canonical lower-case name of `profile`.
+std::string to_string(CapacityProfile profile);
+
+/// Every accepted topology-family name, in enum order (CLI/docs helper).
+std::vector<std::string> topology_family_names();
+
+/// Every accepted capacity-profile name, in enum order.
+std::vector<std::string> capacity_profile_names();
+
+/// Declarative cloud shape: which family, its dimensions, the capacity
+/// profile and the base CloudConfig the shape overrides. num_qpus is the
+/// single source of truth for cloud size; rows/cols, when left 0 for
+/// grid/torus, are derived as the most-square factorisation of num_qpus.
+struct CloudSpec {
+  TopologyFamily family = TopologyFamily::kRandom;
+  int num_qpus = 20;
+  /// Grid/torus dimensions; both 0 = derive from num_qpus, both set =
+  /// must satisfy rows * cols == num_qpus.
+  int rows = 0;
+  int cols = 0;
+  /// Dumbbell: number of disjoint bridge edges between the two halves.
+  int bridge_width = 1;
+  /// Fat-tree: children per node.
+  int fanout = 2;
+  /// RNG seed for the kRandom family (ignored elsewhere).
+  std::uint64_t topology_seed = 1;
+  CapacityProfile profile = CapacityProfile::kUniform;
+  /// Base configuration; its per-QPU qubit counts are the profile average
+  /// and its num_qpus is overridden by the field above.
+  CloudConfig config{};
+};
+
+/// Build the spec's QPU-network graph. Deterministic per spec; throws
+/// std::invalid_argument on inconsistent dimensions (e.g. rows * cols !=
+/// num_qpus, bridge wider than a dumbbell half).
+Graph build_topology(const CloudSpec& spec);
+
+/// Per-QPU capacities for the spec's profile. Sum-conserving: computing
+/// and comm totals equal num_qpus times the respective config value, and
+/// every QPU keeps at least 1 of each (a 0-comm QPU could never host a
+/// remote-gate endpoint).
+std::vector<QpuCapacity> build_capacities(const CloudSpec& spec);
+
+/// One-stop cloud factory: build_topology + build_capacities over a config
+/// whose num_qpus / link_probability are aligned with the spec.
+QuantumCloud build_cloud(const CloudSpec& spec);
+
+}  // namespace cloudqc

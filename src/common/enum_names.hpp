@@ -1,0 +1,52 @@
+// Tiny name<->enum table helpers shared by the declarative layers
+// (cloud/topologies.cpp, core/scenario.cpp): a static array of
+// {value, name} pairs plus linear-scan lookups. Linear scan is fine —
+// every table has < 10 entries and parsing happens once per spec.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cloudqc {
+
+/// One row of an enum-name table.
+template <typename E>
+struct EnumName {
+  E value;
+  const char* name;
+};
+
+/// Parse `value` against `table`; throws std::invalid_argument naming
+/// `what` on unknown input (callers with line context rewrap the error).
+template <typename E, std::size_t N>
+E parse_enum(const EnumName<E> (&table)[N], const std::string& value,
+             const char* what) {
+  for (const auto& entry : table) {
+    if (value == entry.name) return entry.value;
+  }
+  throw std::invalid_argument(std::string("unknown ") + what + " '" + value +
+                              "'");
+}
+
+/// Canonical name of `value` in `table`; throws std::invalid_argument if
+/// the value is unmapped (a table/enum mismatch — a programming error).
+template <typename E, std::size_t N>
+std::string enum_name(const EnumName<E> (&table)[N], E value) {
+  for (const auto& entry : table) {
+    if (value == entry.value) return entry.name;
+  }
+  throw std::invalid_argument("unmapped enum value");
+}
+
+/// All names of `table`, in declaration order (CLI/docs helper).
+template <typename E, std::size_t N>
+std::vector<std::string> enum_names(const EnumName<E> (&table)[N]) {
+  std::vector<std::string> names;
+  names.reserve(N);
+  for (const auto& entry : table) names.emplace_back(entry.name);
+  return names;
+}
+
+}  // namespace cloudqc

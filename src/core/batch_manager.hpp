@@ -14,10 +14,11 @@ namespace cloudqc {
 
 class ThreadPool;
 
+/// The λ weights of the importance metric (Eq. 11 defaults).
 struct BatchWeights {
-  double lambda1 = 1.0;   // 2-qubit-gate density
-  double lambda2 = 0.5;   // qubit count (resource footprint)
-  double lambda3 = 0.05;  // circuit depth (execution time)
+  double lambda1 = 1.0;   ///< 2-qubit-gate density
+  double lambda2 = 0.5;   ///< qubit count (resource footprint)
+  double lambda3 = 0.05;  ///< circuit depth (execution time)
 };
 
 /// The metric I_i for one circuit.

@@ -13,10 +13,12 @@
 #include "circuit/qasm.hpp"         // IWYU pragma: export
 #include "circuit/workloads.hpp"    // IWYU pragma: export
 #include "cloud/cloud.hpp"          // IWYU pragma: export
+#include "cloud/topologies.hpp"     // IWYU pragma: export
 #include "core/batch_manager.hpp"   // IWYU pragma: export
 #include "core/incoming.hpp"        // IWYU pragma: export
 #include "core/multi_tenant.hpp"    // IWYU pragma: export
 #include "core/parallel_executor.hpp"  // IWYU pragma: export
+#include "core/scenario.hpp"        // IWYU pragma: export
 #include "metrics/stats.hpp"        // IWYU pragma: export
 #include "placement/cost.hpp"       // IWYU pragma: export
 #include "placement/placement.hpp"  // IWYU pragma: export

@@ -149,4 +149,23 @@ std::vector<ArrivingJob> poisson_trace(const std::vector<std::string>& names,
   return trace;
 }
 
+std::vector<ArrivingJob> burst_trace(const std::vector<std::string>& names,
+                                     int num_jobs, int burst_size,
+                                     double mean_gap, Rng& rng) {
+  CLOUDQC_CHECK(!names.empty());
+  CLOUDQC_CHECK(num_jobs >= 0);
+  CLOUDQC_CHECK(burst_size >= 1);
+  CLOUDQC_CHECK(mean_gap > 0.0);
+  std::vector<ArrivingJob> trace;
+  trace.reserve(static_cast<std::size_t>(num_jobs));
+  SimTime t = 0.0;
+  for (int i = 0; i < num_jobs; ++i) {
+    if (i % burst_size == 0) {
+      t += -mean_gap * std::log1p(-rng.uniform());
+    }
+    trace.push_back({make_workload(rng.pick(names)), t});
+  }
+  return trace;
+}
+
 }  // namespace cloudqc

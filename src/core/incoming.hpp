@@ -16,11 +16,13 @@
 
 namespace cloudqc {
 
+/// One entry of an arrival trace: a circuit and its submission time.
 struct ArrivingJob {
   Circuit circuit;
   SimTime arrival = 0.0;
 };
 
+/// Per-job outcome of one incoming-mode run (indexed like the trace).
 struct IncomingJobStats {
   std::string name;
   SimTime arrival = 0.0;
@@ -34,7 +36,9 @@ struct IncomingJobStats {
   double est_fidelity = 1.0;
 };
 
+/// Knobs of run_incoming.
 struct IncomingOptions {
+  /// Engine RNG seed (placement draws and EPR outcomes derive from it).
   std::uint64_t seed = 1;
   /// Change-gated decision points (see README "Simulator event loop &
   /// decision points"). Both default on; the ungated paths are kept as
@@ -69,5 +73,14 @@ std::vector<IncomingJobStats> run_incoming(const std::vector<ArrivingJob>& jobs,
 std::vector<ArrivingJob> poisson_trace(const std::vector<std::string>& names,
                                        int num_jobs, double mean_gap,
                                        Rng& rng);
+
+/// Build a bursty arrival trace: `num_jobs` jobs in groups of `burst_size`
+/// simultaneous arrivals, groups separated by exponential gaps with the
+/// given mean (the last group may be partial). Models batch submissions /
+/// flash crowds — a heavier instantaneous load than poisson_trace at the
+/// same mean rate per group. Circuits are drawn uniformly from `names`.
+std::vector<ArrivingJob> burst_trace(const std::vector<std::string>& names,
+                                     int num_jobs, int burst_size,
+                                     double mean_gap, Rng& rng);
 
 }  // namespace cloudqc

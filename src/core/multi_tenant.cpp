@@ -11,8 +11,9 @@
 namespace cloudqc {
 
 void check_fits_cloud(const Circuit& circuit, const QuantumCloud& cloud) {
-  if (circuit.num_qubits() >
-      cloud.num_qpus() * cloud.config().computing_qubits_per_qpu) {
+  // Sums the live per-QPU capacities, not num_qpus * config value — the
+  // two differ on heterogeneous clouds (cloud/topologies.hpp profiles).
+  if (circuit.num_qubits() > cloud.total_computing_capacity()) {
     throw std::logic_error("job '" + circuit.name() +
                            "' exceeds total cloud capacity");
   }

@@ -17,11 +17,14 @@
 
 namespace cloudqc {
 
+/// Knobs of run_batch.
 struct MultiTenantOptions {
+  /// Importance-metric weights used for batch ordering.
   BatchWeights weights{};
   /// Use submission order instead of the importance metric
   /// (CloudQC-FIFO baseline).
   bool fifo = false;
+  /// Engine RNG seed (placement draws and EPR outcomes derive from it).
   std::uint64_t seed = 1;
   /// Change-gated decision points (see README "Simulator event loop &
   /// decision points"). Both default on; the ungated paths are kept as
@@ -39,9 +42,13 @@ struct MultiTenantOptions {
 /// the job completion time (JCT).
 struct TenantJobStats {
   std::string name;
+  /// When the job was admitted (placement succeeded).
   double placed_time = 0.0;
+  /// When its last gate finished — the JCT, since the batch arrives at 0.
   double completion_time = 0.0;
+  /// 2-qubit gates whose endpoints landed on different QPUs.
   std::size_t remote_ops = 0;
+  /// Distinct QPUs the placement spans.
   int qpus_used = 0;
   /// First-order output-fidelity estimate (see FidelityModel).
   double est_fidelity = 1.0;

@@ -1,0 +1,738 @@
+#include "core/scenario.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "circuit/qasm.hpp"
+#include "circuit/workloads.hpp"
+#include "common/check.hpp"
+#include "common/enum_names.hpp"
+#include "common/env.hpp"
+#include "common/thread_pool.hpp"
+#include "core/incoming.hpp"
+#include "core/multi_tenant.hpp"
+#include "core/parallel_executor.hpp"
+#include "placement/placement.hpp"
+#include "schedule/allocators.hpp"
+#include "schedule/routing.hpp"
+#include "sim/network_sim.hpp"
+
+namespace cloudqc {
+
+namespace {
+
+// ------------------------------------ enum names (common/enum_names.hpp)
+
+constexpr EnumName<WorkloadSource> kSourceNames[] = {
+    {WorkloadSource::kGenerator, "generator"},
+    {WorkloadSource::kQasm, "qasm"},
+    {WorkloadSource::kTrace, "trace"},
+};
+constexpr EnumName<TraceShape> kTraceNames[] = {
+    {TraceShape::kPoisson, "poisson"},
+    {TraceShape::kBurst, "burst"},
+};
+constexpr EnumName<EngineMode> kEngineNames[] = {
+    {EngineMode::kBatch, "batch"},
+    {EngineMode::kMultiTenant, "multi_tenant"},
+    {EngineMode::kIncoming, "incoming"},
+    {EngineMode::kNetworkSim, "network_sim"},
+};
+constexpr EnumName<PlacerKind> kPlacerNames[] = {
+    {PlacerKind::kCloudQC, "cloudqc"}, {PlacerKind::kBfs, "bfs"},
+    {PlacerKind::kRandom, "random"},   {PlacerKind::kAnnealing, "annealing"},
+    {PlacerKind::kGenetic, "genetic"}, {PlacerKind::kRace, "race"},
+};
+constexpr EnumName<AllocatorKind> kAllocatorNames[] = {
+    {AllocatorKind::kCloudQC, "cloudqc"},
+    {AllocatorKind::kGreedy, "greedy"},
+    {AllocatorKind::kAverage, "average"},
+    {AllocatorKind::kRandom, "random"},
+};
+constexpr EnumName<RouterKind> kRouterNames[] = {
+    {RouterKind::kNone, "none"},
+    {RouterKind::kShortest, "shortest"},
+    {RouterKind::kCongestion, "congestion"},
+};
+
+// -------------------------------------------------------------- parsing
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw ScenarioError("line " + std::to_string(line) + ": " + message);
+}
+
+int to_int(const std::string& value, int line) {
+  try {
+    std::size_t pos = 0;
+    const long long parsed = std::stoll(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    // Reject rather than truncate: a wrapped value would silently run a
+    // different experiment than the spec says.
+    if (parsed < std::numeric_limits<int>::min() ||
+        parsed > std::numeric_limits<int>::max()) {
+      fail(line, "integer out of range: '" + value + "'");
+    }
+    return static_cast<int>(parsed);
+  } catch (const ScenarioError&) {
+    throw;
+  } catch (const std::exception&) {
+    fail(line, "expected an integer, got '" + value + "'");
+  }
+}
+
+std::uint64_t to_u64(const std::string& value, int line) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t parsed = std::stoull(value, &pos);
+    if (pos != value.size() || value.find('-') != std::string::npos) {
+      throw std::invalid_argument(value);
+    }
+    return parsed;
+  } catch (const std::exception&) {
+    fail(line, "expected a non-negative integer, got '" + value + "'");
+  }
+}
+
+double to_double(const std::string& value, int line) {
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    fail(line, "expected a number, got '" + value + "'");
+  }
+}
+
+bool to_bool(const std::string& value, int line) {
+  if (value == "true" || value == "1" || value == "yes" || value == "on") {
+    return true;
+  }
+  if (value == "false" || value == "0" || value == "no" || value == "off") {
+    return false;
+  }
+  fail(line, "expected a boolean (true/false), got '" + value + "'");
+}
+
+/// Comma-separated list, entries trimmed, empties dropped.
+std::vector<std::string> to_list(const std::string& value) {
+  std::vector<std::string> out;
+  std::stringstream ss(value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item = trim(item);
+    if (!item.empty()) out.push_back(std::move(item));
+  }
+  return out;
+}
+
+void append_list(std::vector<std::string>& dst, const std::string& value) {
+  for (auto& item : to_list(value)) dst.push_back(std::move(item));
+}
+
+void apply_cloud_key(CloudSpec& cloud, const std::string& key,
+                     const std::string& value, int line) {
+  try {
+    if (key == "topology") {
+      cloud.family = parse_topology_family(value);
+    } else if (key == "num_qpus") {
+      cloud.num_qpus = to_int(value, line);
+    } else if (key == "rows") {
+      cloud.rows = to_int(value, line);
+    } else if (key == "cols") {
+      cloud.cols = to_int(value, line);
+    } else if (key == "bridge_width") {
+      cloud.bridge_width = to_int(value, line);
+    } else if (key == "fanout") {
+      cloud.fanout = to_int(value, line);
+    } else if (key == "topology_seed") {
+      cloud.topology_seed = to_u64(value, line);
+    } else if (key == "capacity_profile") {
+      cloud.profile = parse_capacity_profile(value);
+    } else if (key == "computing_qubits_per_qpu") {
+      cloud.config.computing_qubits_per_qpu =
+          to_int(value, line);
+    } else if (key == "comm_qubits_per_qpu") {
+      cloud.config.comm_qubits_per_qpu = to_int(value, line);
+    } else if (key == "link_probability") {
+      cloud.config.link_probability = to_double(value, line);
+    } else if (key == "epr_success_prob") {
+      cloud.config.epr_success_prob = to_double(value, line);
+    } else if (key == "purification_level") {
+      cloud.config.purification_level = to_int(value, line);
+    } else {
+      fail(line, "unknown [cloud] key '" + key + "'");
+    }
+  } catch (const std::invalid_argument& e) {
+    fail(line, e.what());
+  }
+}
+
+void apply_workload_key(ScenarioWorkload& workload, const std::string& key,
+                        const std::string& value, int line) {
+  try {
+    if (key == "source") {
+      workload.source = parse_enum(kSourceNames, value, "workload source");
+    } else if (key == "circuits") {
+      append_list(workload.circuits, value);
+    } else if (key == "qasm_files") {
+      append_list(workload.qasm_files, value);
+    } else if (key == "trace") {
+      workload.trace = parse_enum(kTraceNames, value, "trace shape");
+    } else if (key == "trace_jobs") {
+      workload.trace_jobs = to_int(value, line);
+    } else if (key == "trace_mean_gap") {
+      workload.trace_mean_gap = to_double(value, line);
+    } else if (key == "trace_burst_size") {
+      workload.trace_burst_size = to_int(value, line);
+    } else if (key == "trace_seed") {
+      workload.trace_seed = to_u64(value, line);
+    } else {
+      fail(line, "unknown [workload] key '" + key + "'");
+    }
+  } catch (const std::invalid_argument& e) {
+    fail(line, e.what());
+  }
+}
+
+void apply_engine_key(ScenarioEngine& engine, const std::string& key,
+                      const std::string& value, int line) {
+  try {
+    if (key == "mode") {
+      engine.mode = parse_enum(kEngineNames, value, "engine mode");
+    } else if (key == "placer") {
+      engine.placer = parse_enum(kPlacerNames, value, "placer");
+    } else if (key == "allocator") {
+      engine.allocator = parse_enum(kAllocatorNames, value, "allocator");
+    } else if (key == "router") {
+      engine.router = parse_enum(kRouterNames, value, "router");
+    } else if (key == "seed") {
+      engine.seed = to_u64(value, line);
+    } else if (key == "fifo") {
+      engine.fifo = to_bool(value, line);
+    } else if (key == "gated_admission") {
+      engine.gated_admission = to_bool(value, line);
+    } else if (key == "gated_allocation") {
+      engine.gated_allocation = to_bool(value, line);
+    } else if (key == "workers") {
+      engine.workers = to_int(value, line);
+    } else {
+      fail(line, "unknown [engine] key '" + key + "'");
+    }
+  } catch (const std::invalid_argument& e) {
+    fail(line, e.what());
+  }
+}
+
+/// Spec-level consistency checks shared by parse_scenario (fail early with
+/// a good message) and run_scenario (programmatically built specs).
+void validate(const ScenarioSpec& spec) {
+  const ScenarioWorkload& w = spec.workload;
+  if (w.source == WorkloadSource::kGenerator && w.circuits.empty()) {
+    throw ScenarioError("scenario '" + spec.name +
+                        "': source = generator needs a non-empty circuits "
+                        "list");
+  }
+  if (w.source == WorkloadSource::kQasm && w.qasm_files.empty()) {
+    throw ScenarioError("scenario '" + spec.name +
+                        "': source = qasm needs a non-empty qasm_files list");
+  }
+  if (w.source == WorkloadSource::kTrace) {
+    if (w.trace_jobs < 0) {
+      throw ScenarioError("scenario '" + spec.name + "': trace_jobs < 0");
+    }
+    if (w.trace_mean_gap <= 0.0) {
+      throw ScenarioError("scenario '" + spec.name + "': trace_mean_gap <= 0");
+    }
+    if (w.trace == TraceShape::kBurst && w.trace_burst_size < 1) {
+      throw ScenarioError("scenario '" + spec.name +
+                          "': trace_burst_size < 1");
+    }
+  }
+  if (spec.engine.workers < 1) {
+    throw ScenarioError("scenario '" + spec.name + "': workers < 1");
+  }
+  if (spec.engine.router != RouterKind::kNone &&
+      spec.engine.mode != EngineMode::kNetworkSim) {
+    // Loud rather than silently ignored: only the network-sim engine
+    // threads a router into the simulator.
+    throw ScenarioError("scenario '" + spec.name +
+                        "': router requires mode = network_sim");
+  }
+}
+
+// --------------------------------------------------------- serialisation
+
+/// Shortest %g rendering that parses back to exactly `value` (keeps
+/// to_ini() human-readable without losing round-trip precision).
+std::string fmt_double(double value) {
+  char buf[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    if (std::stod(buf) == value) break;
+  }
+  return buf;
+}
+
+std::string join(const std::vector<std::string>& items) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items[i];
+  }
+  return out;
+}
+
+// ----------------------------------------------------- engine execution
+
+/// Thread-safe placement-call counter: forwards both entry points
+/// unchanged, so engine trajectories are bit-identical to the bare placer.
+class CountingPlacer final : public Placer {
+ public:
+  explicit CountingPlacer(const Placer& inner) : inner_(inner) {}
+  std::string name() const override { return inner_.name(); }
+  std::optional<Placement> place(const Circuit& circuit,
+                                 const QuantumCloud& cloud,
+                                 Rng& rng) const override {
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    return inner_.place(circuit, cloud, rng);
+  }
+  std::optional<Placement> place_with_context(
+      const Circuit& circuit, const QuantumCloud& cloud, Rng& rng,
+      const PlacementContext& ctx) const override {
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    return inner_.place_with_context(circuit, cloud, rng, ctx);
+  }
+  std::size_t calls() const {
+    return calls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const Placer& inner_;
+  mutable std::atomic<std::size_t> calls_{0};
+};
+
+std::unique_ptr<Placer> make_placer(PlacerKind kind, ThreadPool* pool) {
+  switch (kind) {
+    case PlacerKind::kCloudQC:
+      return make_cloudqc_placer();
+    case PlacerKind::kBfs:
+      return make_cloudqc_bfs_placer();
+    case PlacerKind::kRandom:
+      return make_random_placer();
+    case PlacerKind::kAnnealing:
+      return make_annealing_placer();
+    case PlacerKind::kGenetic:
+      return make_genetic_placer();
+    case PlacerKind::kRace:
+      return make_default_racing_placer({}, pool);
+  }
+  throw ScenarioError("unknown placer kind");
+}
+
+std::unique_ptr<CommAllocator> make_allocator(AllocatorKind kind) {
+  switch (kind) {
+    case AllocatorKind::kCloudQC:
+      return make_cloudqc_allocator();
+    case AllocatorKind::kGreedy:
+      return make_greedy_allocator();
+    case AllocatorKind::kAverage:
+      return make_average_allocator();
+    case AllocatorKind::kRandom:
+      return make_random_allocator();
+  }
+  throw ScenarioError("unknown allocator kind");
+}
+
+std::unique_ptr<EprRouter> make_router(RouterKind kind) {
+  switch (kind) {
+    case RouterKind::kNone:
+      return nullptr;
+    case RouterKind::kShortest:
+      return make_shortest_path_router();
+    case RouterKind::kCongestion:
+      return make_congestion_aware_router();
+  }
+  throw ScenarioError("unknown router kind");
+}
+
+/// The trace mix: explicit circuits, or the paper's mixed workload list.
+const std::vector<std::string>& trace_mix(const ScenarioWorkload& w) {
+  return w.circuits.empty() ? mixed_workload_names() : w.circuits;
+}
+
+/// Materialise the workload as an arrival trace. Non-trace sources arrive
+/// all at t = 0 in list order (so every engine accepts every source).
+std::vector<ArrivingJob> build_trace(const ScenarioWorkload& w) {
+  switch (w.source) {
+    case WorkloadSource::kGenerator: {
+      std::vector<ArrivingJob> jobs;
+      jobs.reserve(w.circuits.size());
+      for (const auto& name : w.circuits) {
+        jobs.push_back({make_workload(name), 0.0});
+      }
+      return jobs;
+    }
+    case WorkloadSource::kQasm: {
+      std::vector<ArrivingJob> jobs;
+      jobs.reserve(w.qasm_files.size());
+      for (const auto& path : w.qasm_files) {
+        jobs.push_back({parse_qasm_file(path), 0.0});
+      }
+      return jobs;
+    }
+    case WorkloadSource::kTrace: {
+      Rng rng(w.trace_seed);
+      if (w.trace == TraceShape::kPoisson) {
+        return poisson_trace(trace_mix(w), w.trace_jobs, w.trace_mean_gap,
+                             rng);
+      }
+      return burst_trace(trace_mix(w), w.trace_jobs, w.trace_burst_size,
+                         w.trace_mean_gap, rng);
+    }
+  }
+  throw ScenarioError("unknown workload source");
+}
+
+std::vector<Circuit> strip_arrivals(std::vector<ArrivingJob> trace) {
+  std::vector<Circuit> jobs;
+  jobs.reserve(trace.size());
+  for (auto& job : trace) jobs.push_back(std::move(job.circuit));
+  return jobs;
+}
+
+void finalize_metrics(ScenarioResult& result) {
+  double jct_sum = 0.0, fid_sum = 0.0;
+  std::size_t placed = 0;
+  for (const auto& job : result.jobs) {
+    if (!job.placed) continue;
+    ++placed;
+    result.makespan = std::max(result.makespan, job.completion_time);
+    jct_sum += job.completion_time - job.arrival;
+    fid_sum += job.est_fidelity;
+  }
+  if (placed > 0) {
+    result.mean_jct = jct_sum / static_cast<double>(placed);
+    result.mean_fidelity = fid_sum / static_cast<double>(placed);
+  }
+}
+
+/// Shared-simulator engine: place everything up front against the idle
+/// cloud, admit all placed jobs at t = 0, drain. The only engine that
+/// consults a router. RNG discipline (documented for hand-wiring parity):
+///   Rng rng(seed); NetworkSimulator sim(cloud, alloc, rng.fork(), router);
+///   then one placer.place(job, cloud, rng) per job in list order.
+void run_network_sim(const ScenarioSpec& spec,
+                     const std::vector<Circuit>& jobs, QuantumCloud& cloud,
+                     const Placer& placer, const CommAllocator& allocator,
+                     ScenarioResult& result) {
+  const ScenarioEngine& eng = spec.engine;
+  const std::unique_ptr<EprRouter> router = make_router(eng.router);
+  Rng rng(eng.seed);
+  NetworkSimulator sim(cloud, allocator, rng.fork(), router.get());
+  sim.set_change_gated(eng.gated_allocation);
+  std::map<int, std::size_t> sim_to_job;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ScenarioJobResult& job = result.jobs[i];
+    job.name = jobs[i].name();
+    const auto placement = placer.place(jobs[i], cloud, rng);
+    if (!placement.has_value()) {
+      job.placed = false;
+      continue;
+    }
+    CLOUDQC_CHECK(cloud.try_reserve(placement->qubits_per_qpu));
+    sim_to_job[sim.add_job(jobs[i], placement->qubit_to_qpu)] = i;
+    job.remote_ops = placement->remote_ops;
+    job.comm_cost = placement->comm_cost;
+    job.qpus_used = placement->num_qpus_used();
+  }
+  for (const JobCompletion& completion : sim.run_to_completion()) {
+    const auto entry = sim_to_job.find(completion.job);
+    CLOUDQC_CHECK(entry != sim_to_job.end());
+    ScenarioJobResult& job = result.jobs[entry->second];
+    job.completion_time = completion.time;
+    job.est_fidelity = completion.est_fidelity;
+  }
+  result.events_processed = sim.num_events_processed();
+  result.allocation_rounds = sim.num_allocation_rounds();
+}
+
+}  // namespace
+
+ScenarioSpec parse_scenario(std::string_view text, const std::string& name) {
+  ScenarioSpec spec;
+  spec.name = name;
+  std::string section;
+  int line_no = 0;
+  std::string line;
+  std::istringstream in{std::string(text)};
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments ('#' or ';' to end of line), then whitespace.
+    const std::size_t comment = line.find_first_of("#;");
+    if (comment != std::string::npos) line.erase(comment);
+    const std::string content = trim(line);
+    if (content.empty()) continue;
+    if (content.front() == '[') {
+      if (content.back() != ']') fail(line_no, "unterminated section header");
+      section = trim(content.substr(1, content.size() - 2));
+      if (section != "cloud" && section != "workload" &&
+          section != "engine") {
+        fail(line_no, "unknown section [" + section + "]");
+      }
+      continue;
+    }
+    const std::size_t eq = content.find('=');
+    if (eq == std::string::npos) {
+      fail(line_no, "expected 'key = value', got '" + content + "'");
+    }
+    const std::string key = trim(content.substr(0, eq));
+    const std::string value = trim(content.substr(eq + 1));
+    if (key.empty()) fail(line_no, "empty key");
+    if (section.empty()) {
+      fail(line_no, "key '" + key + "' outside any section");
+    }
+    if (section == "cloud") {
+      apply_cloud_key(spec.cloud, key, value, line_no);
+    } else if (section == "workload") {
+      apply_workload_key(spec.workload, key, value, line_no);
+    } else {
+      apply_engine_key(spec.engine, key, value, line_no);
+    }
+  }
+  validate(spec);
+  return spec;
+}
+
+ScenarioSpec load_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ScenarioError("cannot open scenario file '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string()
+                              : path.substr(0, slash + 1);
+  std::string stem = slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = stem.rfind('.');
+  if (dot != std::string::npos && dot > 0) stem.erase(dot);
+
+  ScenarioSpec spec = parse_scenario(text.str(), stem);
+  // Relative QASM paths are relative to the spec file, not the CWD.
+  for (std::string& qasm : spec.workload.qasm_files) {
+    if (!qasm.empty() && qasm.front() != '/') qasm = dir + qasm;
+  }
+  return spec;
+}
+
+std::string to_ini(const ScenarioSpec& spec) {
+  std::ostringstream out;
+  const CloudSpec& c = spec.cloud;
+  out << "[cloud]\n";
+  out << "topology = " << to_string(c.family) << "\n";
+  out << "num_qpus = " << c.num_qpus << "\n";
+  out << "rows = " << c.rows << "\n";
+  out << "cols = " << c.cols << "\n";
+  out << "bridge_width = " << c.bridge_width << "\n";
+  out << "fanout = " << c.fanout << "\n";
+  out << "topology_seed = " << c.topology_seed << "\n";
+  out << "capacity_profile = " << to_string(c.profile) << "\n";
+  out << "computing_qubits_per_qpu = " << c.config.computing_qubits_per_qpu
+      << "\n";
+  out << "comm_qubits_per_qpu = " << c.config.comm_qubits_per_qpu << "\n";
+  out << "link_probability = " << fmt_double(c.config.link_probability)
+      << "\n";
+  out << "epr_success_prob = " << fmt_double(c.config.epr_success_prob)
+      << "\n";
+  out << "purification_level = " << c.config.purification_level << "\n";
+
+  const ScenarioWorkload& w = spec.workload;
+  out << "\n[workload]\n";
+  out << "source = " << enum_name(kSourceNames, w.source) << "\n";
+  if (!w.circuits.empty()) out << "circuits = " << join(w.circuits) << "\n";
+  if (!w.qasm_files.empty()) {
+    out << "qasm_files = " << join(w.qasm_files) << "\n";
+  }
+  out << "trace = " << enum_name(kTraceNames, w.trace) << "\n";
+  out << "trace_jobs = " << w.trace_jobs << "\n";
+  out << "trace_mean_gap = " << fmt_double(w.trace_mean_gap) << "\n";
+  out << "trace_burst_size = " << w.trace_burst_size << "\n";
+  out << "trace_seed = " << w.trace_seed << "\n";
+
+  const ScenarioEngine& e = spec.engine;
+  out << "\n[engine]\n";
+  out << "mode = " << enum_name(kEngineNames, e.mode) << "\n";
+  out << "placer = " << enum_name(kPlacerNames, e.placer) << "\n";
+  out << "allocator = " << enum_name(kAllocatorNames, e.allocator) << "\n";
+  out << "router = " << enum_name(kRouterNames, e.router) << "\n";
+  out << "seed = " << e.seed << "\n";
+  out << "fifo = " << (e.fifo ? "true" : "false") << "\n";
+  out << "gated_admission = " << (e.gated_admission ? "true" : "false")
+      << "\n";
+  out << "gated_allocation = " << (e.gated_allocation ? "true" : "false")
+      << "\n";
+  out << "workers = " << e.workers << "\n";
+  return out.str();
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  validate(spec);
+  const auto start = std::chrono::steady_clock::now();
+
+  ScenarioResult result;
+  result.scenario = spec.name;
+  result.engine = enum_name(kEngineNames, spec.engine.mode);
+
+  QuantumCloud cloud = build_cloud(spec.cloud);
+  const std::unique_ptr<CommAllocator> allocator =
+      make_allocator(spec.engine.allocator);
+
+  // The batch engine fans out across its executor's pool; the other
+  // engines are serial loops that only use workers for a racing placer.
+  std::unique_ptr<ParallelExecutor> executor;
+  std::unique_ptr<ThreadPool> race_pool;
+  ThreadPool* pool = nullptr;
+  if (spec.engine.mode == EngineMode::kBatch) {
+    executor = std::make_unique<ParallelExecutor>(spec.engine.workers);
+    pool = executor->pool();
+  } else if (spec.engine.placer == PlacerKind::kRace &&
+             spec.engine.workers > 1) {
+    race_pool = std::make_unique<ThreadPool>(spec.engine.workers);
+    pool = race_pool.get();
+  }
+  const std::unique_ptr<Placer> placer =
+      make_placer(spec.engine.placer, pool);
+  const CountingPlacer counting(*placer);
+
+  switch (spec.engine.mode) {
+    case EngineMode::kBatch: {
+      const std::vector<Circuit> jobs =
+          strip_arrivals(build_trace(spec.workload));
+      const auto stats = executor->run_independent(
+          jobs, cloud, counting, *allocator, spec.engine.seed);
+      result.jobs.resize(stats.size());
+      for (std::size_t i = 0; i < stats.size(); ++i) {
+        ScenarioJobResult& job = result.jobs[i];
+        job.name = stats[i].name;
+        job.placed = stats[i].placed;
+        job.completion_time = stats[i].completion_time;
+        job.remote_ops = stats[i].remote_ops;
+        job.comm_cost = stats[i].comm_cost;
+        job.qpus_used = stats[i].qpus_used;
+        job.est_fidelity = stats[i].est_fidelity;
+      }
+      break;
+    }
+    case EngineMode::kMultiTenant: {
+      const std::vector<Circuit> jobs =
+          strip_arrivals(build_trace(spec.workload));
+      MultiTenantOptions options;
+      options.fifo = spec.engine.fifo;
+      options.seed = spec.engine.seed;
+      options.gated_admission = spec.engine.gated_admission;
+      options.gated_allocation = spec.engine.gated_allocation;
+      const auto stats =
+          run_batch(jobs, cloud, counting, *allocator, options);
+      result.jobs.resize(stats.size());
+      for (std::size_t i = 0; i < stats.size(); ++i) {
+        ScenarioJobResult& job = result.jobs[i];
+        job.name = stats[i].name;
+        job.placed_time = stats[i].placed_time;
+        job.completion_time = stats[i].completion_time;
+        job.remote_ops = stats[i].remote_ops;
+        job.qpus_used = stats[i].qpus_used;
+        job.est_fidelity = stats[i].est_fidelity;
+      }
+      break;
+    }
+    case EngineMode::kIncoming: {
+      const std::vector<ArrivingJob> trace = build_trace(spec.workload);
+      IncomingOptions options;
+      options.seed = spec.engine.seed;
+      options.gated_admission = spec.engine.gated_admission;
+      options.gated_allocation = spec.engine.gated_allocation;
+      const auto stats =
+          run_incoming(trace, cloud, counting, *allocator, options);
+      result.jobs.resize(stats.size());
+      for (std::size_t i = 0; i < stats.size(); ++i) {
+        ScenarioJobResult& job = result.jobs[i];
+        job.name = stats[i].name;
+        job.arrival = stats[i].arrival;
+        job.placed_time = stats[i].placed_time;
+        job.completion_time = stats[i].completion_time;
+        job.remote_ops = stats[i].remote_ops;
+        job.qpus_used = stats[i].qpus_used;
+        job.est_fidelity = stats[i].est_fidelity;
+      }
+      break;
+    }
+    case EngineMode::kNetworkSim: {
+      const std::vector<Circuit> jobs =
+          strip_arrivals(build_trace(spec.workload));
+      result.jobs.resize(jobs.size());
+      run_network_sim(spec, jobs, cloud, counting, *allocator, result);
+      break;
+    }
+  }
+
+  result.placement_calls = counting.calls();
+  finalize_metrics(result);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+std::string write_bench_json(const ScenarioResult& result, std::string dir) {
+  if (dir.empty()) dir = env_or("CLOUDQC_BENCH_JSON_DIR", ".");
+  // Conservative filename: the scenario name may come from user input.
+  std::string safe = result.scenario;
+  for (char& ch : safe) {
+    if (!std::isalnum(static_cast<unsigned char>(ch)) && ch != '_' &&
+        ch != '-') {
+      ch = '_';
+    }
+  }
+  const std::string path = dir + "/BENCH_scenario_" + safe + ".json";
+  std::ofstream os(path);
+  if (!os) return "";
+  std::size_t placed = 0;
+  for (const auto& job : result.jobs) placed += job.placed ? 1 : 0;
+  char buf[64];
+  auto num = [&buf](double v) {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return std::string(buf);
+  };
+  os << "{\n  \"bench\": \"scenario_" << safe << "\"";
+  os << ",\n  \"engine\": \"" << result.engine << "\"";
+  os << ",\n  \"num_jobs\": " << result.jobs.size();
+  os << ",\n  \"placed_jobs\": " << placed;
+  os << ",\n  \"makespan\": " << num(result.makespan);
+  os << ",\n  \"mean_jct\": " << num(result.mean_jct);
+  os << ",\n  \"mean_fidelity\": " << num(result.mean_fidelity);
+  os << ",\n  \"placement_calls\": " << result.placement_calls;
+  os << ",\n  \"events_processed\": " << result.events_processed;
+  os << ",\n  \"allocation_rounds\": " << result.allocation_rounds;
+  os << ",\n  \"wall_seconds\": " << num(result.wall_seconds);
+  os << "\n}\n";
+  return os ? path : "";
+}
+
+}  // namespace cloudqc

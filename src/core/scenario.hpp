@@ -1,0 +1,180 @@
+// Declarative scenario engine: one text spec (INI-style key = value
+// sections) describes a full experiment — cloud shape + capacity profile,
+// workload source, engine, placement/allocation/routing policies, seeds
+// and worker count — and run_scenario() executes it through the *same*
+// engine entry points the hand-written benches use, returning a structured
+// result. Every new workload becomes a text file in scenarios/ instead of
+// a new C++ target; docs/SCENARIOS.md is the key reference.
+//
+// Determinism: a ScenarioSpec fully determines its ScenarioResult metrics
+// (everything except wall_seconds) at any worker count — clouds are built
+// from topology_seed, traces from trace_seed, engines from engine.seed,
+// all through the library's stream_seed discipline. run_scenario() is
+// bit-identical to hand-wiring the equivalent engine calls (asserted in
+// tests/scenario_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cloud/topologies.hpp"
+
+namespace cloudqc {
+
+/// Thrown on malformed scenario text (unknown key/section/value, missing
+/// required fields); the message carries a line number where applicable.
+class ScenarioError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Where the scenario's circuits come from.
+enum class WorkloadSource {
+  kGenerator,  ///< named generator circuits (circuit/workloads.hpp)
+  kQasm,       ///< OpenQASM 2.0 files on disk
+  kTrace,      ///< synthetic arrival trace drawn from a workload mix
+};
+
+/// Arrival-process shape for WorkloadSource::kTrace.
+enum class TraceShape {
+  kPoisson,  ///< exponential inter-arrival gaps, one job per arrival
+  kBurst,    ///< groups of simultaneous arrivals separated by exp. gaps
+};
+
+/// Which engine executes the workload.
+enum class EngineMode {
+  kBatch,        ///< ParallelExecutor::run_independent (private clouds)
+  kMultiTenant,  ///< run_batch: shared cloud, batch-manager admission
+  kIncoming,     ///< run_incoming: arrival trace, FIFO + HoL skipping
+  kNetworkSim,   ///< place all jobs up front, one shared NetworkSimulator
+};
+
+/// Placement strategy selector (factories in placement/placement.hpp).
+enum class PlacerKind { kCloudQC, kBfs, kRandom, kAnnealing, kGenetic, kRace };
+
+/// Communication-qubit allocator selector (schedule/allocators.hpp).
+enum class AllocatorKind { kCloudQC, kGreedy, kAverage, kRandom };
+
+/// EPR-path router selector (schedule/routing.hpp). Only the network-sim
+/// engine consults it; kNone uses the static hop model.
+enum class RouterKind { kNone, kShortest, kCongestion };
+
+/// Workload half of a scenario: either an explicit circuit list
+/// (generator names or QASM paths) or a synthetic arrival trace.
+struct ScenarioWorkload {
+  WorkloadSource source = WorkloadSource::kGenerator;
+  /// Generator circuit names; for kTrace, the mix arrivals draw from.
+  /// Empty with kTrace = the paper's mixed workload list.
+  std::vector<std::string> circuits;
+  /// QASM file paths (kQasm). load_scenario_file() resolves relative
+  /// paths against the spec file's directory.
+  std::vector<std::string> qasm_files;
+  TraceShape trace = TraceShape::kPoisson;
+  int trace_jobs = 20;
+  double trace_mean_gap = 50.0;
+  /// Jobs per simultaneous burst (kBurst; the gap separates bursts).
+  int trace_burst_size = 4;
+  std::uint64_t trace_seed = 7;
+};
+
+/// Engine half of a scenario: which control loop runs the jobs and with
+/// which policies/seeds.
+struct ScenarioEngine {
+  EngineMode mode = EngineMode::kMultiTenant;
+  PlacerKind placer = PlacerKind::kCloudQC;
+  AllocatorKind allocator = AllocatorKind::kCloudQC;
+  RouterKind router = RouterKind::kNone;
+  std::uint64_t seed = 1;
+  /// Multi-tenant only: submission order instead of importance order.
+  bool fifo = false;
+  /// Change-gated decision points (see docs/ARCHITECTURE.md).
+  bool gated_admission = true;
+  bool gated_allocation = true;
+  /// Worker threads: fan-out width of the batch engine and the racing
+  /// placer's pool. Metrics are worker-count-invariant by the library's
+  /// determinism contract.
+  int workers = 1;
+};
+
+/// A full declarative scenario. Parse one from text with parse_scenario()
+/// or a file with load_scenario_file(); serialise with to_ini().
+struct ScenarioSpec {
+  std::string name = "scenario";
+  CloudSpec cloud;
+  ScenarioWorkload workload;
+  ScenarioEngine engine;
+};
+
+/// Parse INI-style scenario text ([cloud] / [workload] / [engine]
+/// sections, key = value lines, '#' or ';' comments). Unknown sections,
+/// unknown keys and unparsable values all throw ScenarioError with the
+/// offending line number; missing keys keep their defaults. `name` is the
+/// scenario's report name (a file's stem, usually).
+ScenarioSpec parse_scenario(std::string_view text,
+                            const std::string& name = "scenario");
+
+/// Read and parse `path`; the file stem becomes the scenario name and
+/// relative qasm_files entries are resolved against the file's directory.
+ScenarioSpec load_scenario_file(const std::string& path);
+
+/// Canonical INI serialisation. Round-trip-stable:
+/// to_ini(parse_scenario(to_ini(s))) == to_ini(s) for any valid spec.
+std::string to_ini(const ScenarioSpec& spec);
+
+/// Per-job outcome, engine-independent. Times are simulation units;
+/// arrival is 0 except in incoming mode.
+struct ScenarioJobResult {
+  std::string name;
+  /// False when no feasible mapping was found (batch engine: job skipped;
+  /// network-sim engine: job not admitted). Such jobs are excluded from
+  /// the aggregate metrics below.
+  bool placed = true;
+  double arrival = 0.0;
+  double placed_time = 0.0;
+  double completion_time = 0.0;
+  std::size_t remote_ops = 0;
+  /// Placement communication cost (paper Obj. 1). Populated by the batch
+  /// and network-sim engines; the multi-tenant/incoming engines' stats do
+  /// not carry it and leave 0.
+  double comm_cost = 0.0;
+  int qpus_used = 0;
+  double est_fidelity = 1.0;
+};
+
+/// Structured outcome of one scenario run.
+struct ScenarioResult {
+  std::string scenario;
+  std::string engine;  ///< canonical engine-mode name
+  std::vector<ScenarioJobResult> jobs;
+  /// Latest completion time over placed jobs (0 when none placed).
+  double makespan = 0.0;
+  /// Mean of (completion - arrival) over placed jobs.
+  double mean_jct = 0.0;
+  /// Mean first-order fidelity estimate over placed jobs.
+  double mean_fidelity = 0.0;
+  /// Placer invocations issued by the engine (admission retries included).
+  std::size_t placement_calls = 0;
+  /// Simulator counters; populated by the network-sim engine only.
+  std::uint64_t events_processed = 0;
+  std::uint64_t allocation_rounds = 0;
+  /// Host wall-clock of the run — the only non-deterministic field.
+  double wall_seconds = 0.0;
+};
+
+/// Execute the scenario and aggregate its metrics. Throws ScenarioError on
+/// inconsistent specs (e.g. kQasm with no files) and propagates engine
+/// errors (e.g. a job that can never fit the cloud) unchanged.
+ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// Write the result as BENCH_scenario_<name>.json in the bench-smoke
+/// artifact format (flat key/value pairs, same schema family as
+/// bench_util.hpp's BenchJson). `dir` empty = $CLOUDQC_BENCH_JSON_DIR,
+/// falling back to the working directory. Returns the path written, or ""
+/// on I/O failure.
+std::string write_bench_json(const ScenarioResult& result,
+                             std::string dir = "");
+
+}  // namespace cloudqc

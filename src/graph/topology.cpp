@@ -34,6 +34,13 @@ Graph random_topology(NodeId n, double edge_prob, Rng& rng) {
   return g;
 }
 
+Graph line_topology(NodeId n) {
+  CLOUDQC_CHECK(n > 0);
+  Graph g(n);
+  for (NodeId u = 0; u + 1 < n; ++u) g.add_edge(u, u + 1);
+  return g;
+}
+
 Graph grid_topology(NodeId rows, NodeId cols) {
   CLOUDQC_CHECK(rows > 0 && cols > 0);
   Graph g(rows * cols);
@@ -43,6 +50,18 @@ Graph grid_topology(NodeId rows, NodeId cols) {
       if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
       if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
     }
+  }
+  return g;
+}
+
+Graph torus_topology(NodeId rows, NodeId cols) {
+  Graph g = grid_topology(rows, cols);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  if (rows >= 3) {
+    for (NodeId c = 0; c < cols; ++c) g.add_edge(id(rows - 1, c), id(0, c));
+  }
+  if (cols >= 3) {
+    for (NodeId r = 0; r < rows; ++r) g.add_edge(id(r, cols - 1), id(r, 0));
   }
   return g;
 }
@@ -67,6 +86,34 @@ Graph complete_topology(NodeId n) {
   Graph g(n);
   for (NodeId u = 0; u < n; ++u) {
     for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph dumbbell_topology(NodeId left, NodeId right, int bridge_width) {
+  CLOUDQC_CHECK(left > 0 && right > 0);
+  CLOUDQC_CHECK(bridge_width >= 1 && bridge_width <= left &&
+                bridge_width <= right);
+  Graph g(left + right);
+  for (NodeId u = 0; u < left; ++u) {
+    for (NodeId v = u + 1; v < left; ++v) g.add_edge(u, v);
+  }
+  for (NodeId u = 0; u < right; ++u) {
+    for (NodeId v = u + 1; v < right; ++v) g.add_edge(left + u, left + v);
+  }
+  for (int b = 0; b < bridge_width; ++b) g.add_edge(b, left + b);
+  return g;
+}
+
+Graph fat_tree_topology(NodeId n, int fanout) {
+  CLOUDQC_CHECK(n > 0);
+  CLOUDQC_CHECK(fanout >= 2);
+  Graph g(n);
+  for (NodeId u = 1; u < n; ++u) {
+    const NodeId parent = (u - 1) / fanout;
+    g.add_edge(parent, u);
+    // Sibling clique: connect to every earlier child of the same parent.
+    for (NodeId v = parent * fanout + 1; v < u; ++v) g.add_edge(v, u);
   }
   return g;
 }

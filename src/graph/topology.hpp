@@ -13,8 +13,18 @@ namespace cloudqc {
 /// edge (the paper assumes the quantum cloud is one network).
 Graph random_topology(NodeId n, double edge_prob, Rng& rng);
 
+/// n-node path 0 — 1 — … — n-1 (the sparsest connected shape; worst-case
+/// diameter for placement).
+Graph line_topology(NodeId n);
+
 /// rows x cols 2-D mesh.
 Graph grid_topology(NodeId rows, NodeId cols);
+
+/// rows x cols 2-D torus: the grid plus wrap-around edges in every
+/// dimension of size >= 3 (a wrap edge in a 2-long dimension would
+/// duplicate an existing mesh edge, and Graph::add_edge would merge it
+/// into a double-weight edge rather than a new link).
+Graph torus_topology(NodeId rows, NodeId cols);
 
 /// n-node cycle (n >= 3); for n in {1, 2} degenerates to path.
 Graph ring_topology(NodeId n);
@@ -24,5 +34,20 @@ Graph star_topology(NodeId n);
 
 /// Complete graph on n nodes.
 Graph complete_topology(NodeId n);
+
+/// Two complete clusters of `left` and `right` nodes joined by
+/// `bridge_width` disjoint bridge edges (left node i — right node i).
+/// Models two datacenters with a thin interconnect; the bridge is the
+/// contended cut for any placement that spans clusters. Requires
+/// 1 <= bridge_width <= min(left, right).
+Graph dumbbell_topology(NodeId left, NodeId right, int bridge_width = 1);
+
+/// Hierarchical "fat-tree-ish" topology on exactly `n` nodes: a complete
+/// `fanout`-ary tree by heap indexing (node i > 0 attaches to parent
+/// (i-1)/fanout), with the children of each parent additionally
+/// interconnected pairwise (sibling cliques — the "fat" part, giving
+/// aggregation layers more bisection than a plain tree). Requires n >= 1,
+/// fanout >= 2.
+Graph fat_tree_topology(NodeId n, int fanout = 2);
 
 }  // namespace cloudqc

@@ -1,0 +1,299 @@
+// Scenario engine (core/scenario.hpp): parser round-trip and rejection
+// behaviour, and the central equivalence contract — run_scenario() on a
+// committed spec file is bit-identical to hand-wiring the same engine
+// calls in C++ (one multi-tenant batch spec, one network-sim spec).
+//
+// CLOUDQC_SCENARIO_DIR (a compile definition set in CMakeLists.txt)
+// points at the repo's scenarios/ directory.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "circuit/workloads.hpp"
+#include "common/check.hpp"
+#include "core/incoming.hpp"
+#include "core/multi_tenant.hpp"
+#include "core/scenario.hpp"
+#include "graph/topology.hpp"
+#include "placement/placement.hpp"
+#include "schedule/allocators.hpp"
+#include "schedule/routing.hpp"
+#include "sim/network_sim.hpp"
+
+namespace cloudqc {
+namespace {
+
+std::string scenario_path(const std::string& file) {
+  return std::string(CLOUDQC_SCENARIO_DIR) + "/" + file;
+}
+
+TEST(ScenarioParserTest, ParsesSectionsCommentsAndLists) {
+  const char* text =
+      "# full-line comment\n"
+      "[cloud]\n"
+      "topology = dumbbell   ; trailing comment\n"
+      "num_qpus = 14\n"
+      "bridge_width = 3\n"
+      "capacity_profile = skewed\n"
+      "\n"
+      "[workload]\n"
+      "source = generator\n"
+      "circuits = ising_n34, qaoa_n50\n"
+      "circuits = vqe_uccsd_n28\n"  // repeated key appends
+      "\n"
+      "[engine]\n"
+      "mode = multi_tenant\n"
+      "fifo = true\n"
+      "seed = 77\n";
+  const ScenarioSpec spec = parse_scenario(text, "t");
+  EXPECT_EQ(spec.cloud.family, TopologyFamily::kDumbbell);
+  EXPECT_EQ(spec.cloud.num_qpus, 14);
+  EXPECT_EQ(spec.cloud.bridge_width, 3);
+  EXPECT_EQ(spec.cloud.profile, CapacityProfile::kSkewed);
+  ASSERT_EQ(spec.workload.circuits.size(), 3u);
+  EXPECT_EQ(spec.workload.circuits[2], "vqe_uccsd_n28");
+  EXPECT_EQ(spec.engine.mode, EngineMode::kMultiTenant);
+  EXPECT_TRUE(spec.engine.fifo);
+  EXPECT_EQ(spec.engine.seed, 77u);
+}
+
+TEST(ScenarioParserTest, RejectsUnknownKeysSectionsAndValues) {
+  // Unknown key (with its line number in the message).
+  try {
+    parse_scenario("[cloud]\ntopology = ring\nnum_qpu = 5\n");
+    FAIL() << "unknown key accepted";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("num_qpu"), std::string::npos);
+  }
+  EXPECT_THROW(parse_scenario("[clouds]\n"), ScenarioError);
+  EXPECT_THROW(parse_scenario("topology = ring\n"), ScenarioError);
+  EXPECT_THROW(parse_scenario("[cloud]\ntopology = moebius\n"),
+               ScenarioError);
+  EXPECT_THROW(parse_scenario("[cloud]\nnum_qpus = twenty\n"),
+               ScenarioError);
+  EXPECT_THROW(parse_scenario("[engine]\nfifo = maybe\n"), ScenarioError);
+  EXPECT_THROW(parse_scenario("[cloud]\njust a line\n"), ScenarioError);
+  // Out-of-int-range values are rejected, never silently wrapped
+  // (4294967316 == 2^32 + 20 would truncate to a 20-QPU cloud).
+  EXPECT_THROW(parse_scenario("[cloud]\nnum_qpus = 4294967316\n"),
+               ScenarioError);
+}
+
+TEST(ScenarioParserTest, RejectsInconsistentSpecs) {
+  // qasm source without files.
+  EXPECT_THROW(parse_scenario("[workload]\nsource = qasm\n"), ScenarioError);
+  // generator source with no circuits (the default list is empty).
+  EXPECT_THROW(parse_scenario("[workload]\nsource = generator\n"),
+               ScenarioError);
+  // A router outside the network-sim engine is loud, not ignored.
+  EXPECT_THROW(
+      parse_scenario("[workload]\ncircuits = ising_n34\n"
+                     "[engine]\nmode = multi_tenant\nrouter = shortest\n"),
+      ScenarioError);
+  EXPECT_THROW(
+      parse_scenario("[workload]\ncircuits = ising_n34\n"
+                     "[engine]\nworkers = 0\n"),
+      ScenarioError);
+}
+
+TEST(ScenarioParserTest, IniRoundTripIsStable) {
+  ScenarioSpec spec;
+  spec.name = "rt";
+  spec.cloud.family = TopologyFamily::kTorus;
+  spec.cloud.num_qpus = 12;
+  spec.cloud.rows = 3;
+  spec.cloud.cols = 4;
+  spec.cloud.topology_seed = 99;
+  spec.cloud.profile = CapacityProfile::kBimodal;
+  spec.cloud.config.computing_qubits_per_qpu = 16;
+  spec.cloud.config.comm_qubits_per_qpu = 4;
+  spec.cloud.config.link_probability = 0.35;
+  spec.cloud.config.epr_success_prob = 0.125;
+  spec.cloud.config.purification_level = 1;
+  spec.workload.source = WorkloadSource::kTrace;
+  spec.workload.circuits = {"ising_n34", "qaoa_n50"};
+  spec.workload.trace = TraceShape::kBurst;
+  spec.workload.trace_jobs = 9;
+  spec.workload.trace_mean_gap = 12.5;
+  spec.workload.trace_burst_size = 3;
+  spec.workload.trace_seed = 21;
+  spec.engine.mode = EngineMode::kIncoming;
+  spec.engine.placer = PlacerKind::kAnnealing;
+  spec.engine.allocator = AllocatorKind::kAverage;
+  spec.engine.seed = 77;
+  spec.engine.gated_admission = false;
+  spec.engine.workers = 2;
+
+  const std::string ini = to_ini(spec);
+  const ScenarioSpec reparsed = parse_scenario(ini, "rt");
+  EXPECT_EQ(to_ini(reparsed), ini);
+  EXPECT_EQ(reparsed.cloud.config.link_probability, 0.35);
+  EXPECT_EQ(reparsed.workload.trace_mean_gap, 12.5);
+  EXPECT_EQ(reparsed.engine.placer, PlacerKind::kAnnealing);
+}
+
+TEST(ScenarioTest, BurstTraceShape) {
+  Rng rng(5);
+  const auto trace = burst_trace({"ising_n34"}, 10, 4, 100.0, rng);
+  ASSERT_EQ(trace.size(), 10u);
+  // Groups of 4 share one arrival instant; groups strictly later.
+  EXPECT_EQ(trace[0].arrival, trace[3].arrival);
+  EXPECT_EQ(trace[4].arrival, trace[7].arrival);
+  EXPECT_LT(trace[3].arrival, trace[4].arrival);
+  EXPECT_LT(trace[7].arrival, trace[8].arrival);
+  EXPECT_EQ(trace[8].arrival, trace[9].arrival);  // partial last burst
+  EXPECT_GT(trace[0].arrival, 0.0);
+}
+
+// The acceptance contract: scenarios/grid_multitenant.ini, executed by
+// the scenario engine, bit-matches the equivalent hand-wired run_batch()
+// setup — same cloud, same jobs, same options, no scenario layer.
+TEST(ScenarioTest, GridMultitenantSpecMatchesHandWiredBatch) {
+  const ScenarioSpec spec =
+      load_scenario_file(scenario_path("grid_multitenant.ini"));
+  ASSERT_EQ(spec.engine.mode, EngineMode::kMultiTenant);
+  const ScenarioResult result = run_scenario(spec);
+
+  // Hand-wired equivalent, built without cloud/topologies.hpp.
+  CloudConfig cfg;  // paper defaults: 20 QPUs, 20 + 5 qubits
+  QuantumCloud cloud(cfg, grid_topology(4, 5));
+  std::vector<Circuit> jobs;
+  for (const auto& name : spec.workload.circuits) {
+    jobs.push_back(make_workload(name));
+  }
+  const auto placer = make_cloudqc_placer();
+  const auto alloc = make_cloudqc_allocator();
+  MultiTenantOptions options;
+  options.seed = 1;
+  const auto stats = run_batch(jobs, cloud, *placer, *alloc, options);
+
+  ASSERT_EQ(result.jobs.size(), stats.size());
+  double makespan = 0.0;
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    EXPECT_TRUE(result.jobs[i].placed);
+    EXPECT_EQ(result.jobs[i].name, stats[i].name);
+    EXPECT_EQ(result.jobs[i].placed_time, stats[i].placed_time);
+    EXPECT_EQ(result.jobs[i].completion_time, stats[i].completion_time);
+    EXPECT_EQ(result.jobs[i].remote_ops, stats[i].remote_ops);
+    EXPECT_EQ(result.jobs[i].qpus_used, stats[i].qpus_used);
+    EXPECT_EQ(result.jobs[i].est_fidelity, stats[i].est_fidelity);
+    makespan = std::max(makespan, stats[i].completion_time);
+  }
+  EXPECT_EQ(result.makespan, makespan);
+  EXPECT_GE(result.placement_calls, stats.size());
+}
+
+// Same contract for the shared-simulator engine with routing and a
+// heterogeneous (bimodal torus) cloud, following the RNG discipline
+// documented in core/scenario.cpp's run_network_sim.
+TEST(ScenarioTest, TorusNetworkSimSpecMatchesHandWiredSimulator) {
+  const ScenarioSpec spec =
+      load_scenario_file(scenario_path("torus_bimodal_netsim.ini"));
+  ASSERT_EQ(spec.engine.mode, EngineMode::kNetworkSim);
+  const ScenarioResult result = run_scenario(spec);
+
+  QuantumCloud cloud = build_cloud(spec.cloud);
+  const auto placer = make_cloudqc_placer();
+  const auto alloc = make_cloudqc_allocator();
+  const auto router = make_shortest_path_router();
+  Rng rng(spec.engine.seed);
+  NetworkSimulator sim(cloud, *alloc, rng.fork(), router.get());
+  std::vector<double> completion(spec.workload.circuits.size(), 0.0);
+  std::vector<double> fidelity(spec.workload.circuits.size(), 1.0);
+  // The simulator keeps pointers to admitted circuits: they must outlive
+  // the run, so materialise them before the admission loop.
+  std::vector<Circuit> circuits;
+  for (const auto& name : spec.workload.circuits) {
+    circuits.push_back(make_workload(name));
+  }
+  for (const Circuit& circuit : circuits) {
+    const auto placement = placer->place(circuit, cloud, rng);
+    ASSERT_TRUE(placement.has_value()) << circuit.name();
+    ASSERT_TRUE(cloud.try_reserve(placement->qubits_per_qpu));
+    sim.add_job(circuit, placement->qubit_to_qpu);
+  }
+  for (const auto& done : sim.run_to_completion()) {
+    const auto idx = static_cast<std::size_t>(done.job);
+    completion[idx] = done.time;
+    fidelity[idx] = done.est_fidelity;
+  }
+
+  ASSERT_EQ(result.jobs.size(), completion.size());
+  for (std::size_t i = 0; i < completion.size(); ++i) {
+    EXPECT_TRUE(result.jobs[i].placed);
+    EXPECT_EQ(result.jobs[i].completion_time, completion[i]);
+    EXPECT_EQ(result.jobs[i].est_fidelity, fidelity[i]);
+  }
+  EXPECT_EQ(result.events_processed, sim.num_events_processed());
+  EXPECT_EQ(result.allocation_rounds, sim.num_allocation_rounds());
+  EXPECT_EQ(result.placement_calls, result.jobs.size());
+}
+
+TEST(ScenarioTest, BatchEngineMetricsAreWorkerCountInvariant) {
+  ScenarioSpec spec;
+  spec.name = "workers";
+  spec.cloud.family = TopologyFamily::kGrid;
+  spec.workload.circuits = {"ising_n34", "vqe_uccsd_n28", "qugan_n39",
+                            "qaoa_n50"};
+  spec.engine.mode = EngineMode::kBatch;
+  spec.engine.seed = 9;
+  spec.engine.workers = 1;
+  const ScenarioResult serial = run_scenario(spec);
+  spec.engine.workers = 4;
+  const ScenarioResult parallel = run_scenario(spec);
+  ASSERT_EQ(serial.jobs.size(), parallel.jobs.size());
+  for (std::size_t i = 0; i < serial.jobs.size(); ++i) {
+    EXPECT_EQ(serial.jobs[i].completion_time,
+              parallel.jobs[i].completion_time);
+    EXPECT_EQ(serial.jobs[i].est_fidelity, parallel.jobs[i].est_fidelity);
+    EXPECT_EQ(serial.jobs[i].remote_ops, parallel.jobs[i].remote_ops);
+  }
+  EXPECT_EQ(serial.makespan, parallel.makespan);
+  EXPECT_EQ(serial.mean_jct, parallel.mean_jct);
+}
+
+TEST(ScenarioTest, QasmQuickstartResolvesRelativePaths) {
+  const ScenarioSpec spec =
+      load_scenario_file(scenario_path("qasm_line_quickstart.ini"));
+  ASSERT_EQ(spec.workload.qasm_files.size(), 2u);
+  // Paths were rebased onto the spec file's directory.
+  EXPECT_NE(spec.workload.qasm_files[0].find("scenarios/"),
+            std::string::npos);
+  const ScenarioResult result = run_scenario(spec);
+  ASSERT_EQ(result.jobs.size(), 2u);
+  EXPECT_EQ(result.jobs[0].name, "ghz8");
+  EXPECT_EQ(result.jobs[1].name, "ripple4");
+  EXPECT_TRUE(result.jobs[0].placed);
+  EXPECT_TRUE(result.jobs[1].placed);
+  EXPECT_GT(result.makespan, 0.0);
+}
+
+TEST(ScenarioTest, WriteBenchJsonEmitsArtifactFormat) {
+  ScenarioSpec spec;
+  spec.name = "json check";  // exercises filename sanitisation
+  spec.cloud.num_qpus = 6;
+  spec.cloud.family = TopologyFamily::kRing;
+  spec.cloud.config.computing_qubits_per_qpu = 8;
+  spec.workload.circuits = {"vqe_uccsd_n28"};
+  spec.engine.mode = EngineMode::kBatch;
+  const ScenarioResult result = run_scenario(spec);
+  const std::string path = write_bench_json(result, ::testing::TempDir());
+  ASSERT_FALSE(path.empty());
+  EXPECT_NE(path.find("BENCH_scenario_json_check.json"), std::string::npos);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("\"bench\": \"scenario_json_check\""),
+            std::string::npos);
+  EXPECT_NE(content.str().find("\"engine\": \"batch\""), std::string::npos);
+  EXPECT_NE(content.str().find("\"makespan\": "), std::string::npos);
+  EXPECT_NE(content.str().find("\"placement_calls\": "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudqc
