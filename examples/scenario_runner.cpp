@@ -3,11 +3,16 @@
 // scenarios/ holds committed specs; docs/SCENARIOS.md is the key
 // reference.
 //
-//   scenario_runner <spec.ini> [--json [dir]] [--quiet]
+//   scenario_runner <spec.ini> [--json [dir]] [--golden [dir]] [--quiet]
 //
 // --json writes BENCH_scenario_<name>.json (into dir, else
 // $CLOUDQC_BENCH_JSON_DIR, else the working directory) — the same flat
 // artifact format the CI bench-smoke job uploads.
+// --golden writes <name>.golden.json (into dir, else the working
+// directory): every deterministic metric including the per-job table,
+// byte-stable for a fixed spec. The scenario-golden CI job diffs these
+// against the committed scenarios/golden/ corpus; regenerate with
+// tools/regen_golden.sh.
 #include <cstdio>
 #include <exception>
 #include <sstream>
@@ -22,9 +27,12 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <scenario.ini> [--json [dir]] [--quiet]\n"
-               "  --json   also write BENCH_scenario_<name>.json\n"
-               "  --quiet  suppress the per-job table\n",
+               "usage: %s <scenario.ini> [--json [dir]] [--golden [dir]] "
+               "[--quiet]\n"
+               "  --json    also write BENCH_scenario_<name>.json\n"
+               "  --golden  also write <name>.golden.json (deterministic "
+               "metrics only)\n"
+               "  --quiet   suppress the per-job table\n",
                argv0);
   return 2;
 }
@@ -35,12 +43,16 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
   std::string spec_path;
   std::string json_dir;
-  bool write_json = false, quiet = false;
+  std::string golden_dir = ".";
+  bool write_json = false, write_golden = false, quiet = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       write_json = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') json_dir = argv[++i];
+    } else if (arg == "--golden") {
+      write_golden = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') golden_dir = argv[++i];
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (!arg.empty() && arg.front() == '-') {
@@ -93,11 +105,26 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(result.allocation_rounds));
     }
     std::printf("\n");
+    if (spec.engine.cache) {
+      std::printf(
+          "cache: %llu exact hits | %llu warm hits | %llu misses\n",
+          static_cast<unsigned long long>(result.cache_exact_hits),
+          static_cast<unsigned long long>(result.cache_warm_hits),
+          static_cast<unsigned long long>(result.cache_misses));
+    }
 
     if (write_json) {
       const std::string path = write_bench_json(result, json_dir);
       if (path.empty()) {
         std::fprintf(stderr, "error: could not write BENCH json\n");
+        return 1;
+      }
+      std::printf("wrote %s\n", path.c_str());
+    }
+    if (write_golden) {
+      const std::string path = write_golden_json(result, golden_dir);
+      if (path.empty()) {
+        std::fprintf(stderr, "error: could not write golden json\n");
         return 1;
       }
       std::printf("wrote %s\n", path.c_str());

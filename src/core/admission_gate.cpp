@@ -5,25 +5,26 @@ namespace cloudqc {
 AdmissionGate::AdmissionGate(std::size_t num_jobs, bool enabled)
     : enabled_(enabled), failed_free_(enabled ? num_jobs : 0) {}
 
-bool AdmissionGate::should_attempt(std::size_t job,
-                                   const QuantumCloud& cloud) const {
+void AdmissionGate::refresh(const QuantumCloud& cloud) {
+  free_.resize(static_cast<std::size_t>(cloud.num_qpus()));
+  for (QpuId q = 0; q < cloud.num_qpus(); ++q) {
+    free_[static_cast<std::size_t>(q)] = cloud.qpu(q).free_computing();
+  }
+}
+
+bool AdmissionGate::should_attempt(std::size_t job) const {
   if (!enabled_) return true;
   const std::vector<int>& at_failure = failed_free_[job];
   if (at_failure.empty()) return true;
-  for (QpuId q = 0; q < cloud.num_qpus(); ++q) {
-    const int free = cloud.qpu(q).free_computing();
-    if (free > at_failure[static_cast<std::size_t>(q)]) return true;
+  for (std::size_t q = 0; q < free_.size(); ++q) {
+    if (free_[q] > at_failure[q]) return true;
   }
   return false;
 }
 
-void AdmissionGate::record_failure(std::size_t job, const QuantumCloud& cloud) {
+void AdmissionGate::record_failure(std::size_t job) {
   if (!enabled_) return;
-  std::vector<int>& sig = failed_free_[job];
-  sig.resize(static_cast<std::size_t>(cloud.num_qpus()));
-  for (QpuId q = 0; q < cloud.num_qpus(); ++q) {
-    sig[static_cast<std::size_t>(q)] = cloud.qpu(q).free_computing();
-  }
+  failed_free_[job] = free_;
 }
 
 void AdmissionGate::record_admission(std::size_t job) {

@@ -13,6 +13,15 @@
 // than at the job's last failure (i.e. computing qubits were released
 // somewhere since).
 //
+// The free-computing vector doubles as the capacity half of the placement
+// cache key (placement/placement_cache.hpp), so the gate snapshots it once
+// per decision round via refresh() and exposes it through signature();
+// should_attempt/record_failure read the snapshot instead of re-walking
+// the cloud per queued job. Callers must refresh() again after any
+// admission inside a round — capacities changed, and recording a stale
+// (richer) signature at a later failure would suppress retries that could
+// in fact succeed.
+//
 // Determinism note: placers whose failure path is reachable only when
 // total free capacity is short — and which fail before consuming any
 // randomness (the annealing and genetic baselines bail out of their
@@ -32,22 +41,34 @@ namespace cloudqc {
 class AdmissionGate {
  public:
   /// `enabled == false` turns the gate into a pass-through (the ungated
-  /// baseline bench_network_sim compares against).
+  /// baseline bench_network_sim compares against). The signature snapshot
+  /// is still maintained so the placement cache can share it.
   AdmissionGate(std::size_t num_jobs, bool enabled);
 
-  /// True when `job` deserves a placement attempt under the current
-  /// free-computing state: gating disabled, never failed before, or some
-  /// QPU now has more free computing qubits than at its last failure.
-  bool should_attempt(std::size_t job, const QuantumCloud& cloud) const;
+  /// Snapshot the cloud's per-QPU free-computing vector. Call once at the
+  /// start of each decision round, and again after every successful
+  /// reservation within the round.
+  void refresh(const QuantumCloud& cloud);
 
-  /// Record that `job` failed to place under the current state.
-  void record_failure(std::size_t job, const QuantumCloud& cloud);
+  /// The free-computing vector captured by the last refresh(). Also the
+  /// capacity half of the placement cache key.
+  const std::vector<int>& signature() const { return free_; }
+
+  /// True when `job` deserves a placement attempt under the snapshot
+  /// state: gating disabled, never failed before, or some QPU now has
+  /// more free computing qubits than at its last failure.
+  bool should_attempt(std::size_t job) const;
+
+  /// Record that `job` failed to place under the snapshot state.
+  void record_failure(std::size_t job);
 
   /// Record that `job` was admitted (releases its signature storage).
   void record_admission(std::size_t job);
 
  private:
   bool enabled_;
+  /// Free-computing vector at the last refresh().
+  std::vector<int> free_;
   /// Per-job free-computing vector at the last failed attempt; empty when
   /// the job never failed (or was admitted).
   std::vector<std::vector<int>> failed_free_;

@@ -9,6 +9,7 @@
 #include "circuit/workloads.hpp"
 #include "common/check.hpp"
 #include "core/admission_gate.hpp"
+#include "placement/placement_cache.hpp"
 #include "sim/network_sim.hpp"
 
 namespace cloudqc {
@@ -39,20 +40,28 @@ std::vector<IncomingJobStats> run_incoming(const std::vector<ArrivingJob>& jobs,
   // so a stochastic placer always gets a fresh shot before the engine
   // would otherwise declare deadlock).
   auto admit = [&](bool force) {
+    // Snapshot the capacity signature once per admission round; it is
+    // refreshed after each reservation below so later queue entries (and
+    // the placement cache, which shares the snapshot as its capacity key)
+    // never see a stale free-computing vector.
+    gate.refresh(cloud);
     for (auto it = queue.begin(); it != queue.end();) {
       const std::size_t idx = *it;
-      if (!force && !gate.should_attempt(idx, cloud)) {
+      if (!force && !gate.should_attempt(idx)) {
         ++it;  // no computing qubits released since its last failure
         continue;
       }
-      const auto placement = placer.place(jobs[idx].circuit, cloud, rng);
+      const auto placement = cached_place(options.cache, jobs[idx].circuit,
+                                          cloud, placer, rng,
+                                          &gate.signature());
       if (!placement.has_value()) {
-        gate.record_failure(idx, cloud);
+        gate.record_failure(idx);
         ++it;  // keeps its queue position; smaller jobs behind may fit
         continue;
       }
       gate.record_admission(idx);
       CLOUDQC_CHECK(cloud.try_reserve(placement->qubits_per_qpu));
+      gate.refresh(cloud);
       const int sim_id = sim.add_job(jobs[idx].circuit,
                                      placement->qubit_to_qpu);
       in_flight[sim_id] = {idx, placement->qubits_per_qpu};

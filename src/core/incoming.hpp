@@ -49,6 +49,12 @@ struct IncomingOptions {
   /// `gated_allocation` is NetworkSimulator::set_change_gated.
   bool gated_admission = true;
   bool gated_allocation = true;
+  /// Optional cross-request placement cache (not owned; see
+  /// placement/placement_cache.hpp). Null keeps the exact pre-cache
+  /// behaviour: every admission attempt runs the placer cold. The caller
+  /// owns the cache so it can persist across runs and read stats; it must
+  /// only be shared across *serial* runs against the same cloud topology.
+  PlacementCache* cache = nullptr;
 };
 
 /// Run an arrival trace to completion. Jobs must be sorted by

@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "core/admission_gate.hpp"
+#include "placement/placement_cache.hpp"
 #include "sim/network_sim.hpp"
 
 namespace cloudqc {
@@ -45,21 +46,27 @@ std::vector<TenantJobStats> run_batch(const std::vector<Circuit>& jobs,
     // Work-conserving admission: walk the queue in batch order and place
     // every job the current free resources can host. Skipped jobs stay in
     // order and are retried at the next completion that released
-    // computing qubits they could use.
+    // computing qubits they could use. The gate's capacity signature is
+    // snapshotted once per round (and again after each reservation — the
+    // free-computing state the later jobs see has changed); the placement
+    // cache reuses the same snapshot as its capacity key.
+    gate.refresh(cloud);
     for (auto it = pending.begin(); it != pending.end();) {
       const std::size_t idx = *it;
-      if (!force && !gate.should_attempt(idx, cloud)) {
+      if (!force && !gate.should_attempt(idx)) {
         ++it;
         continue;
       }
-      const auto placement = placer.place(jobs[idx], cloud, rng);
+      const auto placement = cached_place(options.cache, jobs[idx], cloud,
+                                          placer, rng, &gate.signature());
       if (!placement.has_value()) {
-        gate.record_failure(idx, cloud);
+        gate.record_failure(idx);
         ++it;
         continue;
       }
       gate.record_admission(idx);
       CLOUDQC_CHECK(cloud.try_reserve(placement->qubits_per_qpu));
+      gate.refresh(cloud);
       const int sim_id = sim.add_job(jobs[idx], placement->qubit_to_qpu);
       in_flight[sim_id] = {idx, placement->qubits_per_qpu};
 

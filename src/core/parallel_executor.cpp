@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "placement/incremental_cost.hpp"
+#include "placement/placement_cache.hpp"
 #include "schedule/scheduler.hpp"
 
 namespace cloudqc {
@@ -67,6 +68,9 @@ std::vector<std::vector<TenantJobStats>> ParallelExecutor::run_batch_sweep(
   for_each_index(runs.size(), [&](std::size_t r) {
     MultiTenantOptions options = base;
     options.seed = stream_seed(base.seed, r);
+    // A cache shared across concurrent runs would make hit patterns (and
+    // thus placements) depend on worker scheduling; each run goes cold.
+    options.cache = nullptr;
     QuantumCloud view = cloud;
     runs[r] = run_batch(jobs, view, placer, allocator, options);
   });
@@ -90,11 +94,25 @@ std::vector<std::vector<IncomingJobStats>> ParallelExecutor::run_incoming_sweep(
 
 std::optional<Placement> ParallelExecutor::race_place(
     const Circuit& circuit, const QuantumCloud& cloud,
-    const std::vector<const Placer*>& placers, std::uint64_t seed) {
+    const std::vector<const Placer*>& placers, std::uint64_t seed,
+    PlacementCache* cache) {
   CLOUDQC_CHECK_MSG(!placers.empty(), "race_place needs at least one placer");
   // Shared immutable per-request precomputation (interaction CSR): read
   // concurrently by every raced strategy, with no effect on determinism.
-  const PlacementContext ctx = PlacementContext::for_circuit(circuit);
+  PlacementContext ctx = PlacementContext::for_circuit(circuit);
+  CircuitFingerprint fingerprint;
+  std::uint64_t cap_hash = 0;
+  if (cache != nullptr) {
+    fingerprint = circuit_fingerprint(*ctx.csr);
+    cap_hash = capacity_signature_hash(capacity_signature(cloud));
+    PlacementCache::Lookup hit = cache->lookup(fingerprint, cap_hash, cloud);
+    if (hit.outcome == PlacementCache::Outcome::kExact) {
+      return std::move(hit.placement);
+    }
+    if (hit.outcome == PlacementCache::Outcome::kWarm) {
+      ctx.warm_start = std::move(hit.seed);
+    }
+  }
   std::vector<std::optional<Placement>> candidates(placers.size());
   for_each_index(placers.size(), [&](std::size_t k) {
     Rng rng(stream_seed(seed, k));
@@ -106,6 +124,9 @@ std::optional<Placement> ParallelExecutor::race_place(
     if (!best.has_value() || better_placement(*candidate, *best)) {
       best = std::move(candidate);
     }
+  }
+  if (cache != nullptr && best.has_value()) {
+    cache->insert(fingerprint, cap_hash, *best);
   }
   return best;
 }

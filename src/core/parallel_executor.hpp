@@ -75,7 +75,10 @@ class ParallelExecutor {
   /// Repeated stochastic multi-tenant runs (the Sec. VI-D experiment
   /// harness): run r = 0 … num_runs-1 executes run_batch on a private
   /// cloud copy with options.seed = stream_seed(base.seed, r). Returns the
-  /// per-run stats in run order.
+  /// per-run stats in run order. A placement cache in `base` is ignored:
+  /// sharing one across concurrently executing runs would make each run's
+  /// hit pattern depend on worker scheduling, breaking the bit-identical
+  /// determinism contract.
   std::vector<std::vector<TenantJobStats>> run_batch_sweep(
       const std::vector<Circuit>& jobs, const QuantumCloud& cloud,
       const Placer& placer, const CommAllocator& allocator,
@@ -91,11 +94,16 @@ class ParallelExecutor {
   /// Race `placers` on one request: strategy k draws from stream
   /// stream_seed(seed, k); the best candidate by better_placement() wins,
   /// with lower strategy index breaking exact ties. nullopt when no
-  /// strategy finds a feasible mapping.
+  /// strategy finds a feasible mapping. An optional placement cache
+  /// short-circuits the whole race on an exact hit and warm-starts every
+  /// strategy on a near-hit; race_place itself is a serial request from
+  /// the caller's view, so consulting the cache here keeps the
+  /// per-request determinism contract intact.
   std::optional<Placement> race_place(const Circuit& circuit,
                                       const QuantumCloud& cloud,
                                       const std::vector<const Placer*>& placers,
-                                      std::uint64_t seed = 1);
+                                      std::uint64_t seed = 1,
+                                      PlacementCache* cache = nullptr);
 
  private:
   /// Run fn(0) … fn(n-1), on the pool when present, inline otherwise.

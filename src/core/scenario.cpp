@@ -22,6 +22,7 @@
 #include "core/multi_tenant.hpp"
 #include "core/parallel_executor.hpp"
 #include "placement/placement.hpp"
+#include "placement/placement_cache.hpp"
 #include "schedule/allocators.hpp"
 #include "schedule/routing.hpp"
 #include "sim/network_sim.hpp"
@@ -232,6 +233,10 @@ void apply_engine_key(ScenarioEngine& engine, const std::string& key,
       engine.gated_allocation = to_bool(value, line);
     } else if (key == "workers") {
       engine.workers = to_int(value, line);
+    } else if (key == "cache") {
+      engine.cache = to_bool(value, line);
+    } else if (key == "cache_capacity") {
+      engine.cache_capacity = to_int(value, line);
     } else {
       fail(line, "unknown [engine] key '" + key + "'");
     }
@@ -274,6 +279,17 @@ void validate(const ScenarioSpec& spec) {
     // threads a router into the simulator.
     throw ScenarioError("scenario '" + spec.name +
                         "': router requires mode = network_sim");
+  }
+  if (spec.engine.cache && spec.engine.mode == EngineMode::kBatch) {
+    // Loud rather than silently ignored: the batch engine runs jobs
+    // concurrently, and a cache shared across concurrent requests would
+    // make results depend on worker scheduling.
+    throw ScenarioError("scenario '" + spec.name +
+                        "': cache requires a serial engine (multi_tenant, "
+                        "incoming or network_sim)");
+  }
+  if (spec.engine.cache_capacity < 1) {
+    throw ScenarioError("scenario '" + spec.name + "': cache_capacity < 1");
   }
 }
 
@@ -441,7 +457,7 @@ void finalize_metrics(ScenarioResult& result) {
 void run_network_sim(const ScenarioSpec& spec,
                      const std::vector<Circuit>& jobs, QuantumCloud& cloud,
                      const Placer& placer, const CommAllocator& allocator,
-                     ScenarioResult& result) {
+                     PlacementCache* cache, ScenarioResult& result) {
   const ScenarioEngine& eng = spec.engine;
   const std::unique_ptr<EprRouter> router = make_router(eng.router);
   Rng rng(eng.seed);
@@ -451,7 +467,9 @@ void run_network_sim(const ScenarioSpec& spec,
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     ScenarioJobResult& job = result.jobs[i];
     job.name = jobs[i].name();
-    const auto placement = placer.place(jobs[i], cloud, rng);
+    // Serial admission loop: consulting the cache here is deterministic
+    // (cache == nullptr is exactly the pre-cache placer.place path).
+    const auto placement = cached_place(cache, jobs[i], cloud, placer, rng);
     if (!placement.has_value()) {
       job.placed = false;
       continue;
@@ -589,6 +607,8 @@ std::string to_ini(const ScenarioSpec& spec) {
   out << "gated_allocation = " << (e.gated_allocation ? "true" : "false")
       << "\n";
   out << "workers = " << e.workers << "\n";
+  out << "cache = " << (e.cache ? "true" : "false") << "\n";
+  out << "cache_capacity = " << e.cache_capacity << "\n";
   return out.str();
 }
 
@@ -621,6 +641,16 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
       make_placer(spec.engine.placer, pool);
   const CountingPlacer counting(*placer);
 
+  // Per-run cache: scenarios are self-contained experiments, so the cache
+  // never leaks state between runs (bit-identical reruns of one spec).
+  std::unique_ptr<PlacementCache> cache;
+  if (spec.engine.cache) {
+    CacheOptions cache_options;
+    cache_options.capacity =
+        static_cast<std::size_t>(spec.engine.cache_capacity);
+    cache = std::make_unique<PlacementCache>(cache_options);
+  }
+
   switch (spec.engine.mode) {
     case EngineMode::kBatch: {
       const std::vector<Circuit> jobs =
@@ -648,6 +678,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
       options.seed = spec.engine.seed;
       options.gated_admission = spec.engine.gated_admission;
       options.gated_allocation = spec.engine.gated_allocation;
+      options.cache = cache.get();
       const auto stats =
           run_batch(jobs, cloud, counting, *allocator, options);
       result.jobs.resize(stats.size());
@@ -668,6 +699,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
       options.seed = spec.engine.seed;
       options.gated_admission = spec.engine.gated_admission;
       options.gated_allocation = spec.engine.gated_allocation;
+      options.cache = cache.get();
       const auto stats =
           run_incoming(trace, cloud, counting, *allocator, options);
       result.jobs.resize(stats.size());
@@ -687,12 +719,19 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
       const std::vector<Circuit> jobs =
           strip_arrivals(build_trace(spec.workload));
       result.jobs.resize(jobs.size());
-      run_network_sim(spec, jobs, cloud, counting, *allocator, result);
+      run_network_sim(spec, jobs, cloud, counting, *allocator, cache.get(),
+                      result);
       break;
     }
   }
 
   result.placement_calls = counting.calls();
+  if (cache != nullptr) {
+    const PlacementCacheStats cache_stats = cache->stats();
+    result.cache_exact_hits = cache_stats.exact_hits;
+    result.cache_warm_hits = cache_stats.warm_hits;
+    result.cache_misses = cache_stats.misses;
+  }
   finalize_metrics(result);
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -730,8 +769,54 @@ std::string write_bench_json(const ScenarioResult& result, std::string dir) {
   os << ",\n  \"placement_calls\": " << result.placement_calls;
   os << ",\n  \"events_processed\": " << result.events_processed;
   os << ",\n  \"allocation_rounds\": " << result.allocation_rounds;
+  os << ",\n  \"cache_exact_hits\": " << result.cache_exact_hits;
+  os << ",\n  \"cache_warm_hits\": " << result.cache_warm_hits;
+  os << ",\n  \"cache_misses\": " << result.cache_misses;
   os << ",\n  \"wall_seconds\": " << num(result.wall_seconds);
   os << "\n}\n";
+  return os ? path : "";
+}
+
+std::string write_golden_json(const ScenarioResult& result,
+                              const std::string& dir) {
+  const std::string path = dir + "/" + result.scenario + ".golden.json";
+  std::ofstream os(path);
+  if (!os) return "";
+  char buf[64];
+  auto num = [&buf](double v) {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return std::string(buf);
+  };
+  std::size_t placed = 0;
+  for (const auto& job : result.jobs) placed += job.placed ? 1 : 0;
+  os << "{\n";
+  os << "  \"scenario\": \"" << result.scenario << "\",\n";
+  os << "  \"engine\": \"" << result.engine << "\",\n";
+  os << "  \"num_jobs\": " << result.jobs.size() << ",\n";
+  os << "  \"placed_jobs\": " << placed << ",\n";
+  os << "  \"makespan\": " << num(result.makespan) << ",\n";
+  os << "  \"mean_jct\": " << num(result.mean_jct) << ",\n";
+  os << "  \"mean_fidelity\": " << num(result.mean_fidelity) << ",\n";
+  os << "  \"placement_calls\": " << result.placement_calls << ",\n";
+  os << "  \"events_processed\": " << result.events_processed << ",\n";
+  os << "  \"allocation_rounds\": " << result.allocation_rounds << ",\n";
+  os << "  \"cache_exact_hits\": " << result.cache_exact_hits << ",\n";
+  os << "  \"cache_warm_hits\": " << result.cache_warm_hits << ",\n";
+  os << "  \"cache_misses\": " << result.cache_misses << ",\n";
+  os << "  \"jobs\": [";
+  for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+    const ScenarioJobResult& job = result.jobs[i];
+    os << (i > 0 ? "," : "") << "\n    {\"name\": \"" << job.name << "\""
+       << ", \"placed\": " << (job.placed ? "true" : "false")
+       << ", \"arrival\": " << num(job.arrival)
+       << ", \"placed_time\": " << num(job.placed_time)
+       << ", \"completion_time\": " << num(job.completion_time)
+       << ", \"remote_ops\": " << job.remote_ops
+       << ", \"comm_cost\": " << num(job.comm_cost)
+       << ", \"qpus_used\": " << job.qpus_used
+       << ", \"est_fidelity\": " << num(job.est_fidelity) << "}";
+  }
+  os << "\n  ]\n}\n";
   return os ? path : "";
 }
 

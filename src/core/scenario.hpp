@@ -97,6 +97,15 @@ struct ScenarioEngine {
   /// placer's pool. Metrics are worker-count-invariant by the library's
   /// determinism contract.
   int workers = 1;
+  /// Cross-request placement cache (placement/placement_cache.hpp): exact
+  /// repeats of a circuit under identical free capacities reuse the cached
+  /// placement; repeats under changed capacities warm-start the placer.
+  /// Serial engines only (multi_tenant / incoming / network_sim) — the
+  /// batch engine runs jobs concurrently, where a shared cache would make
+  /// results depend on worker scheduling (validate() rejects it loudly).
+  bool cache = false;
+  /// Entry bound of the cache (circuits, not bytes). Must be >= 1.
+  int cache_capacity = 4096;
 };
 
 /// A full declarative scenario. Parse one from text with parse_scenario()
@@ -160,6 +169,11 @@ struct ScenarioResult {
   /// Simulator counters; populated by the network-sim engine only.
   std::uint64_t events_processed = 0;
   std::uint64_t allocation_rounds = 0;
+  /// Placement-cache counters (all 0 when engine.cache is off). Fully
+  /// deterministic: the cache is only consulted from serial engines.
+  std::uint64_t cache_exact_hits = 0;
+  std::uint64_t cache_warm_hits = 0;
+  std::uint64_t cache_misses = 0;
   /// Host wall-clock of the run — the only non-deterministic field.
   double wall_seconds = 0.0;
 };
@@ -176,5 +190,15 @@ ScenarioResult run_scenario(const ScenarioSpec& spec);
 /// on I/O failure.
 std::string write_bench_json(const ScenarioResult& result,
                              std::string dir = "");
+
+/// Write the result as <name>.golden.json in `dir`: every deterministic
+/// field of the result — aggregates plus the full per-job table — and
+/// nothing host-dependent (wall_seconds is excluded). Byte-stable across
+/// machines and worker counts for a fixed spec, so CI can diff the output
+/// against a committed golden file exactly (the scenario-golden job;
+/// regenerate with tools/regen_golden.sh). Returns the path written, or ""
+/// on I/O failure.
+std::string write_golden_json(const ScenarioResult& result,
+                              const std::string& dir);
 
 }  // namespace cloudqc

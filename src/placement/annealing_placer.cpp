@@ -54,7 +54,19 @@ class AnnealingPlacer final : public Placer {
       const PlacementContext& ctx) const override {
     const int n = circuit.num_qubits();
     if (n == 0) return std::nullopt;
-    auto maybe = random_feasible(circuit, cloud, rng);
+    // Warm start (placement cache near-hit): anneal from the cached
+    // mapping when it is still feasible. The final result can never be
+    // worse than the seed — `best` below starts at the seed's cost — so a
+    // warm-started run is never worse than the cold run that produced the
+    // cached entry under the same capacities.
+    std::optional<std::vector<QpuId>> maybe;
+    if (ctx.warm_start != nullptr &&
+        ctx.warm_start->size() == static_cast<std::size_t>(n) &&
+        placement_fits(cloud, *ctx.warm_start)) {
+      maybe = *ctx.warm_start;
+    } else {
+      maybe = random_feasible(circuit, cloud, rng);
+    }
     if (!maybe.has_value()) return std::nullopt;
 
     IncrementalCostModel model(ctx.csr, cloud);

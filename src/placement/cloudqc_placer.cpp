@@ -343,6 +343,21 @@ class CloudQcFamilyPlacer final : public Placer {
       best = finalize_placement(circuit, cloud, std::move(polished),
                                 opts_.alpha, opts_.beta);
     }
+    // Warm start (placement cache near-hit): polish the cached mapping as
+    // an extra candidate and keep the better of the two. The sweep result
+    // is unchanged, so a warm-started run is never worse than a cold one.
+    if (ctx.warm_start != nullptr &&
+        ctx.warm_start->size() == static_cast<std::size_t>(n) &&
+        placement_fits(cloud, *ctx.warm_start)) {
+      std::vector<QpuId> seeded = *ctx.warm_start;
+      detail::polish_placement(circuit, cloud, seeded,
+                               std::max(1, opts_.polish_passes), rng, &ctx);
+      Placement warm = finalize_placement(circuit, cloud, std::move(seeded),
+                                          opts_.alpha, opts_.beta);
+      if (!best.has_value() || better_placement(warm, *best)) {
+        best = std::move(warm);
+      }
+    }
     return best;
   }
 

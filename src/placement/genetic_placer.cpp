@@ -76,15 +76,26 @@ class GeneticPlacer final : public Placer {
     if (n == 0 || cloud.total_free_computing() < n) return std::nullopt;
     IncrementalCostModel model(ctx.csr, cloud);
 
-    // Seed population: random assignments, repaired to feasibility.
+    // Seed population: random assignments, repaired to feasibility. A
+    // warm start (placement cache near-hit) replaces the first genome —
+    // repair() relocates any qubits the changed capacities no longer
+    // host, and elitism guarantees the run is never worse than the
+    // (repaired) seed.
     std::vector<Genome> pop;
     std::vector<double> cost;
     pop.reserve(static_cast<std::size_t>(population_));
+    const bool warm =
+        ctx.warm_start != nullptr &&
+        ctx.warm_start->size() == static_cast<std::size_t>(n);
     for (int i = 0; i < population_; ++i) {
       Genome g(static_cast<std::size_t>(n));
-      for (auto& q : g) {
-        q = static_cast<QpuId>(
-            rng.below(static_cast<std::uint64_t>(cloud.num_qpus())));
+      if (i == 0 && warm) {
+        g = *ctx.warm_start;
+      } else {
+        for (auto& q : g) {
+          q = static_cast<QpuId>(
+              rng.below(static_cast<std::uint64_t>(cloud.num_qpus())));
+        }
       }
       repair(g, model, cloud, rng);
       if (!placement_fits(cloud, g)) return std::nullopt;

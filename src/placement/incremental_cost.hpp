@@ -58,13 +58,20 @@ class CsrAdjacency {
 /// CloudQC family). All members are immutable after construction, so one
 /// context may be read concurrently by every worker of a racing placer
 /// without affecting determinism: the cached artefacts are pure functions
-/// of the circuit.
+/// of the circuit (and, for warm_start, of the serial request history —
+/// fixed before the context is shared).
 struct PlacementContext {
   /// The paper's D_ij multigraph: node per qubit, edge weight = number of
   /// 2-qubit gates between the endpoints.
   std::shared_ptr<const Graph> interaction;
   /// CSR snapshot of `interaction` for the delta-cost engine.
   std::shared_ptr<const CsrAdjacency> csr;
+  /// Optional seed placement (the placement cache's near-hit hook): a
+  /// previously computed qubit→QPU mapping for this circuit. Optimizing
+  /// placers start from it instead of a cold random assignment when it is
+  /// feasible under the live capacities; placers without a meaningful
+  /// warm-start (random, BFS) ignore it. Null for cold requests.
+  std::shared_ptr<const std::vector<QpuId>> warm_start;
 
   static PlacementContext for_circuit(const Circuit& circuit);
 };

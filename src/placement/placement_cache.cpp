@@ -1,0 +1,275 @@
+#include "placement/placement_cache.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.hpp"
+#include "placement/incremental_cost.hpp"
+
+namespace cloudqc {
+
+namespace {
+
+/// Mixes one undirected weighted edge into a 64-bit value. Weights are
+/// integer-valued doubles (2-qubit-gate counts), so hashing the bit
+/// pattern is stable across runs and platforms.
+std::uint64_t edge_hash(NodeId u, NodeId v, double weight,
+                        std::uint64_t salt) {
+  std::uint64_t w_bits = 0;
+  static_assert(sizeof w_bits == sizeof weight, "double must be 64-bit");
+  std::memcpy(&w_bits, &weight, sizeof w_bits);
+  std::uint64_t h = salt;
+  h = splitmix64(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)));
+  h = splitmix64(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
+  h = splitmix64(h ^ w_bits);
+  return h;
+}
+
+constexpr std::uint64_t kSaltHi = 0xC2B2AE3D27D4EB4Full;
+constexpr std::uint64_t kSaltLo = 0x165667B19E3779F9ull;
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+CircuitFingerprint circuit_fingerprint(const CsrAdjacency& csr) {
+  // Commutative (wrapping-sum) combine over undirected edges: the CSR's
+  // adjacency order depends on gate order, the fingerprint must not.
+  CircuitFingerprint fp;
+  const NodeId n = csr.num_nodes();
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::size_t i = csr.begin(u); i < csr.end(u); ++i) {
+      const NodeId v = csr.to(i);
+      if (v < u) continue;  // each undirected edge once (self-loops kept)
+      fp.hi += edge_hash(u, v, csr.weight(i), kSaltHi);
+      fp.lo += edge_hash(u, v, csr.weight(i), kSaltLo);
+    }
+  }
+  // Fold in the qubit count: circuits that differ only in isolated qubits
+  // are different placement problems (they consume different capacity).
+  fp.hi ^= splitmix64(kSaltHi ^ static_cast<std::uint64_t>(n));
+  fp.lo ^= splitmix64(kSaltLo ^ static_cast<std::uint64_t>(n));
+  return fp;
+}
+
+CircuitFingerprint circuit_fingerprint(const Circuit& circuit) {
+  return circuit_fingerprint(CsrAdjacency(circuit.interaction_graph()));
+}
+
+std::vector<int> capacity_signature(const QuantumCloud& cloud) {
+  std::vector<int> sig(static_cast<std::size_t>(cloud.num_qpus()));
+  for (QpuId q = 0; q < cloud.num_qpus(); ++q) {
+    sig[static_cast<std::size_t>(q)] = cloud.qpu(q).free_computing();
+  }
+  return sig;
+}
+
+std::uint64_t capacity_signature_hash(
+    const std::vector<int>& free_computing) {
+  std::uint64_t h = splitmix64(free_computing.size());
+  for (const int free : free_computing) {
+    h = splitmix64(h ^ static_cast<std::uint64_t>(
+                           static_cast<std::uint32_t>(free)));
+  }
+  return h;
+}
+
+// ----------------------------------------------------------------- shards
+
+struct PlacementCache::Shard {
+  struct Entry {
+    CircuitFingerprint fingerprint;
+    std::uint64_t cap_hash = 0;
+    /// Immutable once stored: handed out as the warm-start seed without
+    /// copying, and stays alive through shared ownership even if the entry
+    /// is evicted while a caller still holds it.
+    std::shared_ptr<const std::vector<QpuId>> mapping;
+    Placement placement;
+  };
+
+  mutable std::mutex mutex;
+  /// Front = most recently used.
+  std::list<Entry> lru;
+  /// fingerprint.hi is already well-mixed; use it as the map hash.
+  struct FpHash {
+    std::size_t operator()(const CircuitFingerprint& fp) const {
+      return static_cast<std::size_t>(fp.hi);
+    }
+  };
+  std::unordered_map<CircuitFingerprint, std::list<Entry>::iterator, FpHash>
+      index;
+
+  // Stats are per-shard plain counters folded under the shard lock, then
+  // summed by stats(); no cross-shard synchronisation needed.
+  PlacementCacheStats stats;
+};
+
+PlacementCache::PlacementCache(CacheOptions options)
+    : options_(options) {
+  CLOUDQC_CHECK_MSG(options_.capacity >= 1, "cache capacity must be >= 1");
+  std::size_t shards = round_up_pow2(std::max<std::size_t>(1, options_.shards));
+  // Never spread fewer entries than shards: a shard with capacity 0 could
+  // cache nothing.
+  while (shards > 1 && options_.capacity / shards == 0) shards >>= 1;
+  shard_mask_ = shards - 1;
+  per_shard_capacity_ = std::max<std::size_t>(1, options_.capacity / shards);
+  shards_ = std::make_unique<Shard[]>(shards);
+}
+
+PlacementCache::~PlacementCache() = default;
+
+PlacementCache::Shard& PlacementCache::shard_for(
+    const CircuitFingerprint& fingerprint) const {
+  // .lo keeps shard choice independent of the map hash (.hi).
+  return shards_[static_cast<std::size_t>(fingerprint.lo) & shard_mask_];
+}
+
+PlacementCache::Lookup PlacementCache::lookup(
+    const CircuitFingerprint& fingerprint, std::uint64_t cap_hash,
+    const QuantumCloud& cloud) {
+  Shard& shard = shard_for(fingerprint);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.stats.lookups;
+
+  Lookup result;
+  const auto it = shard.index.find(fingerprint);
+  if (it == shard.index.end()) {
+    ++shard.stats.misses;
+    return result;
+  }
+  // Touch: move to the LRU front.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  const Shard::Entry& entry = shard.lru.front();
+
+  if (entry.cap_hash == cap_hash) {
+    // Verify-on-hit: the signature says the free-computing state matches,
+    // but reuse is only safe if the reservation actually fits the live
+    // cloud (guards hash collisions; O(num_qpus)).
+    bool fits = true;
+    const std::vector<int>& need = entry.placement.qubits_per_qpu;
+    for (QpuId q = 0; q < cloud.num_qpus(); ++q) {
+      if (need[static_cast<std::size_t>(q)] >
+          cloud.qpu(q).free_computing()) {
+        fits = false;
+        break;
+      }
+    }
+    if (fits) {
+      ++shard.stats.exact_hits;
+      result.outcome = Outcome::kExact;
+      result.placement = entry.placement;
+      result.seed = entry.mapping;
+      return result;
+    }
+    ++shard.stats.verify_rejects;
+  }
+  ++shard.stats.warm_hits;
+  result.outcome = Outcome::kWarm;
+  result.seed = entry.mapping;
+  return result;
+}
+
+void PlacementCache::insert(const CircuitFingerprint& fingerprint,
+                            std::uint64_t cap_hash,
+                            const Placement& placement) {
+  Shard& shard = shard_for(fingerprint);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.stats.insertions;
+
+  const auto it = shard.index.find(fingerprint);
+  if (it != shard.index.end()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    Shard::Entry& entry = shard.lru.front();
+    entry.cap_hash = cap_hash;
+    entry.mapping = std::make_shared<const std::vector<QpuId>>(
+        placement.qubit_to_qpu);
+    entry.placement = placement;
+    return;
+  }
+
+  Shard::Entry entry;
+  entry.fingerprint = fingerprint;
+  entry.cap_hash = cap_hash;
+  entry.mapping =
+      std::make_shared<const std::vector<QpuId>>(placement.qubit_to_qpu);
+  entry.placement = placement;
+  shard.lru.push_front(std::move(entry));
+  shard.index.emplace(fingerprint, shard.lru.begin());
+
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().fingerprint);
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
+  }
+}
+
+std::size_t PlacementCache::size() const {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s <= shard_mask_; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    total += shards_[s].lru.size();
+  }
+  return total;
+}
+
+PlacementCacheStats PlacementCache::stats() const {
+  PlacementCacheStats total;
+  for (std::size_t s = 0; s <= shard_mask_; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    const PlacementCacheStats& st = shards_[s].stats;
+    total.lookups += st.lookups;
+    total.exact_hits += st.exact_hits;
+    total.warm_hits += st.warm_hits;
+    total.misses += st.misses;
+    total.verify_rejects += st.verify_rejects;
+    total.insertions += st.insertions;
+    total.evictions += st.evictions;
+  }
+  return total;
+}
+
+// ----------------------------------------------------------- cached_place
+
+std::optional<Placement> cached_place(PlacementCache* cache,
+                                      const Circuit& circuit,
+                                      const QuantumCloud& cloud,
+                                      const Placer& placer, Rng& rng,
+                                      const std::vector<int>* capacity_sig) {
+  if (cache == nullptr) {
+    // Uncached engines stay bit-identical to the pre-cache code path.
+    return placer.place(circuit, cloud, rng);
+  }
+
+  PlacementContext ctx = PlacementContext::for_circuit(circuit);
+  const CircuitFingerprint fingerprint = circuit_fingerprint(*ctx.csr);
+  const std::uint64_t cap_hash =
+      capacity_sig != nullptr ? capacity_signature_hash(*capacity_sig)
+                              : capacity_signature_hash(
+                                    capacity_signature(cloud));
+
+  PlacementCache::Lookup hit = cache->lookup(fingerprint, cap_hash, cloud);
+  if (hit.outcome == PlacementCache::Outcome::kExact) {
+    // Verified reuse: no placer call, no RNG draw — repeat traffic is
+    // O(fingerprint + verify).
+    return std::move(hit.placement);
+  }
+  if (hit.outcome == PlacementCache::Outcome::kWarm) {
+    ctx.warm_start = std::move(hit.seed);
+  }
+  std::optional<Placement> placement =
+      placer.place_with_context(circuit, cloud, rng, ctx);
+  if (placement.has_value()) {
+    cache->insert(fingerprint, cap_hash, *placement);
+  }
+  return placement;
+}
+
+}  // namespace cloudqc

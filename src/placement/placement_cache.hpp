@@ -1,0 +1,189 @@
+// Cross-request placement memoization + warm-start cache.
+//
+// At production traffic most submitted circuits are near-duplicates (same
+// algorithm family, same width), yet every arrival pays a cold placement:
+// the incremental delta-cost engine amortizes evaluation cost *within* one
+// request, nothing amortizes *across* requests. This cache closes that gap:
+//
+//   - Every request is reduced to a canonical CircuitFingerprint — an
+//     order-independent hash of the weighted qubit-interaction CSR the
+//     PlacementContext already builds — plus the qubit count.
+//   - Entries are keyed by (fingerprint, cloud capacity signature), where
+//     the capacity signature is the per-QPU free-computing vector the
+//     admission gate already snapshots once per allocation round.
+//   - Exact hit (same fingerprint, same capacity signature): the cached
+//     placement is *verified* against the live capacities and reused —
+//     repeat traffic costs O(fingerprint + verify) instead of O(place).
+//   - Near hit (same fingerprint, capacities changed): the cached mapping
+//     seeds PlacementContext::warm_start, and the optimizing placers
+//     (annealing, genetic, the CloudQC family's polish) start from it
+//     instead of a cold random assignment.
+//
+// Determinism contract: the cache is consulted only from serial admission
+// loops (run_batch / run_incoming / the network-sim scenario engine), so
+// its contents are a pure function of the request sequence and seed.
+// Turning the cache on changes *which* placements are computed (fewer) and
+// therefore the engine trajectory — exactly like the admission gate — but
+// results remain bit-identical across worker counts for a fixed seed,
+// because lookups, insertions and warm-start seeds never depend on thread
+// scheduling. Sharing one cache across *parallel* runs (e.g. the batch
+// engine's independent jobs, or sweep repetitions) would break that
+// contract, so those entry points do not take one.
+//
+// Scope contract: a PlacementCache is valid for one QuantumCloud topology.
+// The capacity signature covers live per-QPU free computing, not the hop
+// metric, so entries must never be shared across clouds with different
+// topologies. Engines own one cache per run.
+//
+// Thread safety: shards with independent mutexes (flat compact key
+// structs, PaperWasp/QSim idiom) so a racing placer's workers may consult
+// the cache concurrently; statistics are atomics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "cloud/cloud.hpp"
+#include "common/rng.hpp"
+#include "placement/placement.hpp"
+
+namespace cloudqc {
+
+class CsrAdjacency;  // placement/incremental_cost.hpp
+
+/// Cache knobs, engine-facing (MultiTenantOptions / IncomingOptions carry a
+/// non-owning PlacementCache*; scenario specs carry these and the engine
+/// builds the cache per run).
+struct CacheOptions {
+  /// Bound on cached fingerprints across all shards (LRU-evicted).
+  std::size_t capacity = 4096;
+  /// Shard count (rounded up to a power of two, at least 1). Each shard
+  /// holds capacity / shards entries and has its own lock.
+  std::size_t shards = 8;
+};
+
+/// Canonical circuit identity: a 128-bit order-independent hash of the
+/// weighted qubit-interaction CSR plus the qubit count. Two circuits whose
+/// 2-qubit gates are the same multiset of weighted pairs — regardless of
+/// gate order, and regardless of 1-qubit gates — collapse to the same
+/// fingerprint, which is exactly the equivalence the placement objective
+/// Σ D_ij · C_{π(i)π(j)} sees.
+struct CircuitFingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const CircuitFingerprint& other) const {
+    return hi == other.hi && lo == other.lo;
+  }
+  bool operator!=(const CircuitFingerprint& other) const {
+    return !(*this == other);
+  }
+};
+
+/// Fingerprint from a prebuilt interaction CSR (the PlacementContext
+/// artefact; O(E)). Edge hashes are combined commutatively, so the result
+/// is independent of adjacency-list order and therefore of gate order.
+CircuitFingerprint circuit_fingerprint(const CsrAdjacency& csr);
+
+/// Convenience overload: builds the interaction graph first (O(gates)).
+CircuitFingerprint circuit_fingerprint(const Circuit& circuit);
+
+/// The per-QPU free-computing vector — the same signature AdmissionGate
+/// snapshots once per allocation round (AdmissionGate::signature()).
+std::vector<int> capacity_signature(const QuantumCloud& cloud);
+
+/// Position-dependent hash of a capacity signature (QPU ids matter: 3 free
+/// on QPU 0 vs QPU 1 are different placement problems).
+std::uint64_t capacity_signature_hash(const std::vector<int>& free_computing);
+
+/// Monotonic counters; hit_rate() is (exact + warm) / lookups.
+struct PlacementCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t exact_hits = 0;   ///< verified reuse, no placer call
+  std::uint64_t warm_hits = 0;    ///< cached mapping seeded a warm start
+  std::uint64_t misses = 0;
+  std::uint64_t verify_rejects = 0;  ///< exact key hit, live-fit check failed
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+
+  double hit_rate() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(exact_hits + warm_hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+/// Bounded, sharded, LRU placement cache. One entry per fingerprint (the
+/// most recently computed placement for that circuit); the entry's
+/// capacity-signature hash decides exact vs near hit.
+class PlacementCache {
+ public:
+  explicit PlacementCache(CacheOptions options = {});
+
+  PlacementCache(const PlacementCache&) = delete;
+  PlacementCache& operator=(const PlacementCache&) = delete;
+
+  enum class Outcome { kMiss, kWarm, kExact };
+
+  struct Lookup {
+    Outcome outcome = Outcome::kMiss;
+    /// kExact only: the cached placement, verified to fit `cloud`'s live
+    /// free capacities.
+    Placement placement;
+    /// kWarm (and kExact): the cached qubit→QPU mapping, shared immutably
+    /// for PlacementContext::warm_start.
+    std::shared_ptr<const std::vector<QpuId>> seed;
+  };
+
+  /// Look up `fingerprint`. Exact requires the stored capacity-signature
+  /// hash to equal `cap_hash` AND the stored placement to fit `cloud`'s
+  /// live free computing (verify-on-hit: a stale or hash-colliding entry
+  /// is downgraded to a warm seed, never reused blindly).
+  Lookup lookup(const CircuitFingerprint& fingerprint, std::uint64_t cap_hash,
+                const QuantumCloud& cloud);
+
+  /// Insert (or refresh) the entry for `fingerprint`, recording the
+  /// capacity-signature hash the placement was computed under.
+  void insert(const CircuitFingerprint& fingerprint, std::uint64_t cap_hash,
+              const Placement& placement);
+
+  /// Entries currently cached (sums shards).
+  std::size_t size() const;
+
+  const CacheOptions& options() const { return options_; }
+
+  PlacementCacheStats stats() const;
+
+  ~PlacementCache();
+
+ private:
+  struct Shard;
+  Shard& shard_for(const CircuitFingerprint& fingerprint) const;
+
+  CacheOptions options_;
+  std::size_t shard_mask_ = 0;
+  std::size_t per_shard_capacity_ = 1;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+/// The engines' one-stop admission helper: fingerprint the request, consult
+/// the cache, and either reuse (exact hit), warm-start the placer (near
+/// hit) or place cold (miss), inserting computed placements back.
+///
+/// `capacity_sig` is the per-QPU free-computing vector; pass the admission
+/// gate's per-round snapshot (AdmissionGate::signature()) so the gate and
+/// the cache share one computation per round, or nullptr to compute one
+/// from `cloud` here. `cache == nullptr` degrades to a plain
+/// `placer.place(circuit, cloud, rng)` — bit-identical to the uncached
+/// engines.
+std::optional<Placement> cached_place(PlacementCache* cache,
+                                      const Circuit& circuit,
+                                      const QuantumCloud& cloud,
+                                      const Placer& placer, Rng& rng,
+                                      const std::vector<int>* capacity_sig =
+                                          nullptr);
+
+}  // namespace cloudqc

@@ -42,6 +42,13 @@ class RacingPlacer final : public Placer {
   std::optional<Placement> place(const Circuit& circuit,
                                  const QuantumCloud& cloud,
                                  Rng& rng) const override {
+    return place_with_context(circuit, cloud, rng,
+                              PlacementContext::for_circuit(circuit));
+  }
+
+  std::optional<Placement> place_with_context(
+      const Circuit& circuit, const QuantumCloud& cloud, Rng& rng,
+      const PlacementContext& ctx) const override {
     // Consume exactly one draw from the caller's RNG regardless of the
     // strategy count or thread count, so the caller's own stream (multi-
     // tenant admission, incoming-mode admission) is unaffected by how the
@@ -50,7 +57,9 @@ class RacingPlacer final : public Placer {
     // One interaction-graph CSR for the whole race: the context is
     // immutable, so sharing it across workers cannot perturb results —
     // each strategy returns exactly what a context-free place() would.
-    const PlacementContext ctx = PlacementContext::for_circuit(circuit);
+    // A caller-provided context (e.g. the placement cache's, possibly
+    // carrying a warm-start seed) is reused as-is; every raced strategy
+    // sees the same warm start.
     std::vector<std::optional<Placement>> candidates(strategies_.size());
     auto run_one = [&](std::size_t k) {
       Rng stream(stream_seed(base, k));

@@ -11,9 +11,11 @@
 
 namespace cloudqc::testing {
 
-/// Forwards to a real placer and counts place() calls — used by the
-/// admission-gate suites to prove that suppressed retries actually skip
-/// the placer.
+/// Forwards to a real placer and counts placement invocations — used by
+/// the admission-gate and placement-cache suites to prove that suppressed
+/// retries and cache hits actually skip the placer. Both entry points
+/// forward unchanged (the context variant must reach the inner placer so
+/// warm-start seeds are not silently dropped).
 class CountingPlacer final : public Placer {
  public:
   explicit CountingPlacer(std::unique_ptr<Placer> inner)
@@ -28,6 +30,13 @@ class CountingPlacer final : public Placer {
                                  Rng& rng) const override {
     ++calls_;
     return inner_->place(circuit, cloud, rng);
+  }
+
+  std::optional<Placement> place_with_context(
+      const Circuit& circuit, const QuantumCloud& cloud, Rng& rng,
+      const PlacementContext& ctx) const override {
+    ++calls_;
+    return inner_->place_with_context(circuit, cloud, rng, ctx);
   }
 
   std::uint64_t calls() const { return calls_; }

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerate the golden-metrics corpus: one <spec>.golden.json per
+# committed scenario spec, holding every deterministic metric of the run
+# (aggregates + the per-job table; wall-clock excluded). The scenario-golden
+# CI job re-runs each spec and diffs its output against these files
+# byte-for-byte, so any change to engine trajectories — intended or not —
+# shows up as a reviewable diff to scenarios/golden/.
+#
+# Usage: tools/regen_golden.sh [build-dir]    (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+if [ ! -x "$BUILD_DIR/scenario_runner" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD_DIR" -j --target scenario_runner
+fi
+
+mkdir -p scenarios/golden
+for spec in scenarios/*.ini; do
+  name="$(basename "$spec" .ini)"
+  echo "== $name"
+  "$BUILD_DIR/scenario_runner" "$spec" --golden scenarios/golden --quiet
+done
+
+# Drop goldens whose spec no longer exists, so the corpus never goes stale.
+for golden in scenarios/golden/*.golden.json; do
+  [ -f "$golden" ] || continue
+  name="$(basename "$golden" .golden.json)"
+  if [ ! -f "scenarios/$name.ini" ]; then
+    echo "== removing stale $golden"
+    rm "$golden"
+  fi
+done
