@@ -74,7 +74,9 @@ int main(int argc, char** argv) {
     std::printf("engine: %s | cloud: %s x%d (%s capacities)\n",
                 result.engine.c_str(), to_string(spec.cloud.family).c_str(),
                 spec.cloud.num_qpus, to_string(spec.cloud.profile).c_str());
-    if (!quiet) {
+    // Streaming runs free per-job state in flight, so there is no table
+    // to print — only the aggregate block below.
+    if (!quiet && !result.jobs.empty()) {
       TextTable table({"job", "arrival", "placed@", "done@", "remote ops",
                        "QPUs", "fidelity"});
       for (const auto& job : result.jobs) {
@@ -97,6 +99,21 @@ int main(int argc, char** argv) {
         "jobs: %zu | makespan: %.1f | mean JCT: %.1f | mean fidelity: %.4f\n",
         result.jobs.size(), result.makespan, result.mean_jct,
         result.mean_fidelity);
+    if (result.engine == "streaming") {
+      std::printf(
+          "stream: %llu submitted | %llu completed | %llu rejected | "
+          "peak pending %llu | peak in-flight %llu\n",
+          static_cast<unsigned long long>(result.stream_submitted),
+          static_cast<unsigned long long>(result.stream_completed),
+          static_cast<unsigned long long>(result.stream_rejected),
+          static_cast<unsigned long long>(result.stream_peak_pending),
+          static_cast<unsigned long long>(result.stream_peak_in_flight));
+      std::printf(
+          "JCT p50/p95/p99: %.1f / %.1f / %.1f | "
+          "fidelity p50/p95/p99: %.4f / %.4f / %.4f\n",
+          result.jct_p50, result.jct_p95, result.jct_p99,
+          result.fidelity_p50, result.fidelity_p95, result.fidelity_p99);
+    }
     std::printf("placement calls: %zu | wall: %.3fs", result.placement_calls,
                 result.wall_seconds);
     if (result.events_processed > 0) {

@@ -2,8 +2,13 @@
 
 namespace cloudqc {
 
-AdmissionGate::AdmissionGate(std::size_t num_jobs, bool enabled)
-    : enabled_(enabled), failed_free_(enabled ? num_jobs : 0) {}
+AdmissionGate::AdmissionGate(std::size_t expected_jobs, bool enabled)
+    : enabled_(enabled) {
+  if (enabled_) {
+    // Capacity hint only; entries exist for currently-failed jobs alone.
+    failed_free_.reserve(expected_jobs < 1024 ? expected_jobs : 1024);
+  }
+}
 
 void AdmissionGate::refresh(const QuantumCloud& cloud) {
   free_.resize(static_cast<std::size_t>(cloud.num_qpus()));
@@ -14,8 +19,9 @@ void AdmissionGate::refresh(const QuantumCloud& cloud) {
 
 bool AdmissionGate::should_attempt(std::size_t job) const {
   if (!enabled_) return true;
-  const std::vector<int>& at_failure = failed_free_[job];
-  if (at_failure.empty()) return true;
+  const auto it = failed_free_.find(job);
+  if (it == failed_free_.end()) return true;
+  const std::vector<int>& at_failure = it->second;
   for (std::size_t q = 0; q < free_.size(); ++q) {
     if (free_[q] > at_failure[q]) return true;
   }
@@ -29,8 +35,7 @@ void AdmissionGate::record_failure(std::size_t job) {
 
 void AdmissionGate::record_admission(std::size_t job) {
   if (!enabled_) return;
-  failed_free_[job].clear();
-  failed_free_[job].shrink_to_fit();
+  failed_free_.erase(job);
 }
 
 }  // namespace cloudqc

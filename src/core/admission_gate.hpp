@@ -32,6 +32,7 @@
 // never does.
 #pragma once
 
+#include <unordered_map>
 #include <vector>
 
 #include "cloud/cloud.hpp"
@@ -43,7 +44,12 @@ class AdmissionGate {
   /// `enabled == false` turns the gate into a pass-through (the ungated
   /// baseline bench_network_sim compares against). The signature snapshot
   /// is still maintained so the placement cache can share it.
-  AdmissionGate(std::size_t num_jobs, bool enabled);
+  ///
+  /// `expected_jobs` is a capacity hint only: the gate stores state for
+  /// *currently failed* jobs, not for every job id ever seen, so the
+  /// streaming engine can feed it an unbounded id stream while memory
+  /// stays O(bounded pending set). Admission releases a job's entry.
+  AdmissionGate(std::size_t expected_jobs, bool enabled);
 
   /// Snapshot the cloud's per-QPU free-computing vector. Call once at the
   /// start of each decision round, and again after every successful
@@ -69,9 +75,10 @@ class AdmissionGate {
   bool enabled_;
   /// Free-computing vector at the last refresh().
   std::vector<int> free_;
-  /// Per-job free-computing vector at the last failed attempt; empty when
-  /// the job never failed (or was admitted).
-  std::vector<std::vector<int>> failed_free_;
+  /// Free-computing vector at each currently-failed job's last attempt;
+  /// absent when the job never failed or was admitted. Bounded by the
+  /// number of jobs pending at once, not by the id space.
+  std::unordered_map<std::size_t, std::vector<int>> failed_free_;
 };
 
 }  // namespace cloudqc

@@ -31,10 +31,22 @@ std::vector<IncomingJobStats> run_incoming(const std::vector<ArrivingJob>& jobs,
   NetworkSimulator sim(cloud, allocator, rng.fork());
   sim.set_change_gated(options.gated_allocation);
   AdmissionGate gate(jobs.size(), options.gated_admission);
-  std::vector<IncomingJobStats> stats(jobs.size());
+  // Per-job stats live in the in-flight record until completion; they are
+  // copied into the O(jobs) return table only when the caller asked for
+  // it (aggregate-only callers fold them into options.metrics instead).
+  std::vector<IncomingJobStats> stats(options.per_job_stats ? jobs.size()
+                                                            : 0);
+  if (options.metrics != nullptr) {
+    options.metrics->submitted += jobs.size();
+  }
   std::deque<std::size_t> queue;  // arrived, not yet placed (FIFO)
   std::size_t next_arrival = 0;
-  std::map<int, std::pair<std::size_t, std::vector<int>>> in_flight;
+  struct InFlight {
+    std::size_t idx = 0;
+    std::vector<int> reservation;
+    IncomingJobStats record;
+  };
+  std::map<int, InFlight> in_flight;
 
   // `force` bypasses the capacity signature (used when the cloud is idle,
   // so a stochastic placer always gets a fresh shot before the engine
@@ -64,8 +76,10 @@ std::vector<IncomingJobStats> run_incoming(const std::vector<ArrivingJob>& jobs,
       gate.refresh(cloud);
       const int sim_id = sim.add_job(jobs[idx].circuit,
                                      placement->qubit_to_qpu);
-      in_flight[sim_id] = {idx, placement->qubits_per_qpu};
-      IncomingJobStats& s = stats[idx];
+      InFlight& entry = in_flight[sim_id];
+      entry.idx = idx;
+      entry.reservation = placement->qubits_per_qpu;
+      IncomingJobStats& s = entry.record;
       s.name = jobs[idx].circuit.name();
       s.arrival = jobs[idx].arrival;
       s.placed_time = sim.now();
@@ -113,10 +127,18 @@ std::vector<IncomingJobStats> run_incoming(const std::vector<ArrivingJob>& jobs,
       CLOUDQC_CHECK(entry != in_flight.end());
       // Bind by reference: copying the reservation vector per completion
       // is pure overhead (it stays valid until the erase below).
-      const auto& [idx, reservation] = entry->second;
-      stats[idx].completion_time = completion->time;
-      stats[idx].est_fidelity = completion->est_fidelity;
-      cloud.release(reservation);
+      InFlight& flight = entry->second;
+      flight.record.completion_time = completion->time;
+      flight.record.est_fidelity = completion->est_fidelity;
+      if (options.metrics != nullptr) {
+        options.metrics->record_completion(flight.record.jct(),
+                                           flight.record.est_fidelity,
+                                           flight.record.completion_time);
+      }
+      cloud.release(flight.reservation);
+      if (options.per_job_stats) {
+        stats[flight.idx] = std::move(flight.record);
+      }
       in_flight.erase(entry);
       admit(/*force=*/in_flight.empty());
       if (in_flight.empty() && !queue.empty() &&

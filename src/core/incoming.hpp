@@ -10,6 +10,7 @@
 #include "cloud/cloud.hpp"
 #include "common/rng.hpp"
 #include "core/multi_tenant.hpp"
+#include "metrics/streaming_metrics.hpp"
 #include "placement/placement.hpp"
 #include "schedule/allocators.hpp"
 #include "sim/event_queue.hpp"
@@ -55,6 +56,16 @@ struct IncomingOptions {
   /// owns the cache so it can persist across runs and read stats; it must
   /// only be shared across *serial* runs against the same cloud topology.
   PlacementCache* cache = nullptr;
+  /// Optional streaming-aggregates sink: every completed job folds its
+  /// JCT/fidelity/makespan in (O(1) residual, quantiles via the sketch).
+  /// Callers that only need aggregates pair this with per_job_stats =
+  /// false so the engine stops holding a per-job vector it never returns.
+  StreamingMetrics* metrics = nullptr;
+  /// When false, run_incoming returns an empty vector instead of the
+  /// per-job table — aggregate-only callers then hold O(in-flight) stats
+  /// state instead of O(jobs) (the arrival trace itself remains the
+  /// caller's O(jobs); run_streaming removes that too).
+  bool per_job_stats = true;
 };
 
 /// Run an arrival trace to completion. Jobs must be sorted by

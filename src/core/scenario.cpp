@@ -21,6 +21,7 @@
 #include "core/incoming.hpp"
 #include "core/multi_tenant.hpp"
 #include "core/parallel_executor.hpp"
+#include "core/streaming.hpp"
 #include "placement/placement.hpp"
 #include "placement/placement_cache.hpp"
 #include "schedule/allocators.hpp"
@@ -47,6 +48,11 @@ constexpr EnumName<EngineMode> kEngineNames[] = {
     {EngineMode::kMultiTenant, "multi_tenant"},
     {EngineMode::kIncoming, "incoming"},
     {EngineMode::kNetworkSim, "network_sim"},
+    {EngineMode::kStreaming, "streaming"},
+};
+constexpr EnumName<StreamingBackpressure> kBackpressureNames[] = {
+    {StreamingBackpressure::kDefer, "defer"},
+    {StreamingBackpressure::kReject, "reject"},
 };
 constexpr EnumName<PlacerKind> kPlacerNames[] = {
     {PlacerKind::kCloudQC, "cloudqc"}, {PlacerKind::kBfs, "bfs"},
@@ -237,6 +243,13 @@ void apply_engine_key(ScenarioEngine& engine, const std::string& key,
       engine.cache = to_bool(value, line);
     } else if (key == "cache_capacity") {
       engine.cache_capacity = to_int(value, line);
+    } else if (key == "max_pending") {
+      engine.max_pending = to_int(value, line);
+    } else if (key == "backpressure") {
+      engine.backpressure =
+          parse_enum(kBackpressureNames, value, "backpressure policy");
+    } else if (key == "intake_shards") {
+      engine.intake_shards = to_int(value, line);
     } else {
       fail(line, "unknown [engine] key '" + key + "'");
     }
@@ -290,6 +303,12 @@ void validate(const ScenarioSpec& spec) {
   }
   if (spec.engine.cache_capacity < 1) {
     throw ScenarioError("scenario '" + spec.name + "': cache_capacity < 1");
+  }
+  if (spec.engine.max_pending < 1) {
+    throw ScenarioError("scenario '" + spec.name + "': max_pending < 1");
+  }
+  if (spec.engine.intake_shards < 1) {
+    throw ScenarioError("scenario '" + spec.name + "': intake_shards < 1");
   }
 }
 
@@ -424,6 +443,22 @@ std::vector<ArrivingJob> build_trace(const ScenarioWorkload& w) {
     }
   }
   throw ScenarioError("unknown workload source");
+}
+
+/// Streaming twin of build_trace(): a kTrace workload becomes a generator
+/// source with the *same* RNG draw sequence as the materialised trace —
+/// without ever holding more than one job — and list sources stream the
+/// t = 0 vector build_trace() would produce.
+std::unique_ptr<JobSource> build_source(const ScenarioWorkload& w) {
+  if (w.source == WorkloadSource::kTrace) {
+    if (w.trace == TraceShape::kPoisson) {
+      return make_poisson_source(trace_mix(w), w.trace_jobs, w.trace_mean_gap,
+                                 w.trace_seed);
+    }
+    return make_burst_source(trace_mix(w), w.trace_jobs, w.trace_burst_size,
+                             w.trace_mean_gap, w.trace_seed);
+  }
+  return make_vector_source(build_trace(w));
 }
 
 std::vector<Circuit> strip_arrivals(std::vector<ArrivingJob> trace) {
@@ -609,6 +644,10 @@ std::string to_ini(const ScenarioSpec& spec) {
   out << "workers = " << e.workers << "\n";
   out << "cache = " << (e.cache ? "true" : "false") << "\n";
   out << "cache_capacity = " << e.cache_capacity << "\n";
+  out << "max_pending = " << e.max_pending << "\n";
+  out << "backpressure = " << enum_name(kBackpressureNames, e.backpressure)
+      << "\n";
+  out << "intake_shards = " << e.intake_shards << "\n";
   return out.str();
 }
 
@@ -723,6 +762,38 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
                       result);
       break;
     }
+    case EngineMode::kStreaming: {
+      const std::unique_ptr<JobSource> source = build_source(spec.workload);
+      StreamingOptions options;
+      options.seed = spec.engine.seed;
+      options.gated_admission = spec.engine.gated_admission;
+      options.gated_allocation = spec.engine.gated_allocation;
+      options.cache = cache.get();
+      options.max_pending =
+          static_cast<std::size_t>(spec.engine.max_pending);
+      options.backpressure = spec.engine.backpressure;
+      options.intake_shards = spec.engine.intake_shards;
+      const StreamingMetrics metrics =
+          run_streaming(*source, cloud, counting, *allocator, options);
+      // result.jobs stays empty by design: the engine freed per-job state
+      // as jobs completed, so the aggregates below ARE the run's record
+      // (finalize_metrics() is a no-op on an empty job table).
+      result.makespan = metrics.makespan;
+      result.mean_jct = metrics.jct.mean();
+      result.mean_fidelity = metrics.fidelity.mean();
+      result.stream_submitted = metrics.submitted;
+      result.stream_completed = metrics.completed;
+      result.stream_rejected = metrics.rejected;
+      result.stream_peak_pending = metrics.peak_pending;
+      result.stream_peak_in_flight = metrics.peak_in_flight;
+      result.jct_p50 = metrics.jct_p50();
+      result.jct_p95 = metrics.jct_p95();
+      result.jct_p99 = metrics.jct_p99();
+      result.fidelity_p50 = metrics.fidelity_p50();
+      result.fidelity_p95 = metrics.fidelity_p95();
+      result.fidelity_p99 = metrics.fidelity_p99();
+      break;
+    }
   }
 
   result.placement_calls = counting.calls();
@@ -772,6 +843,19 @@ std::string write_bench_json(const ScenarioResult& result, std::string dir) {
   os << ",\n  \"cache_exact_hits\": " << result.cache_exact_hits;
   os << ",\n  \"cache_warm_hits\": " << result.cache_warm_hits;
   os << ",\n  \"cache_misses\": " << result.cache_misses;
+  if (result.engine == "streaming") {
+    os << ",\n  \"stream_submitted\": " << result.stream_submitted;
+    os << ",\n  \"stream_completed\": " << result.stream_completed;
+    os << ",\n  \"stream_rejected\": " << result.stream_rejected;
+    os << ",\n  \"stream_peak_pending\": " << result.stream_peak_pending;
+    os << ",\n  \"stream_peak_in_flight\": " << result.stream_peak_in_flight;
+    os << ",\n  \"jct_p50\": " << num(result.jct_p50);
+    os << ",\n  \"jct_p95\": " << num(result.jct_p95);
+    os << ",\n  \"jct_p99\": " << num(result.jct_p99);
+    os << ",\n  \"fidelity_p50\": " << num(result.fidelity_p50);
+    os << ",\n  \"fidelity_p95\": " << num(result.fidelity_p95);
+    os << ",\n  \"fidelity_p99\": " << num(result.fidelity_p99);
+  }
   os << ",\n  \"wall_seconds\": " << num(result.wall_seconds);
   os << "\n}\n";
   return os ? path : "";
@@ -803,6 +887,24 @@ std::string write_golden_json(const ScenarioResult& result,
   os << "  \"cache_exact_hits\": " << result.cache_exact_hits << ",\n";
   os << "  \"cache_warm_hits\": " << result.cache_warm_hits << ",\n";
   os << "  \"cache_misses\": " << result.cache_misses << ",\n";
+  // Streaming runs have no per-job table; their deterministic record is
+  // the aggregate block (absent for every other engine, so committed
+  // goldens predating the streaming engine stay byte-identical).
+  if (result.engine == "streaming") {
+    os << "  \"stream_submitted\": " << result.stream_submitted << ",\n";
+    os << "  \"stream_completed\": " << result.stream_completed << ",\n";
+    os << "  \"stream_rejected\": " << result.stream_rejected << ",\n";
+    os << "  \"stream_peak_pending\": " << result.stream_peak_pending
+       << ",\n";
+    os << "  \"stream_peak_in_flight\": " << result.stream_peak_in_flight
+       << ",\n";
+    os << "  \"jct_p50\": " << num(result.jct_p50) << ",\n";
+    os << "  \"jct_p95\": " << num(result.jct_p95) << ",\n";
+    os << "  \"jct_p99\": " << num(result.jct_p99) << ",\n";
+    os << "  \"fidelity_p50\": " << num(result.fidelity_p50) << ",\n";
+    os << "  \"fidelity_p95\": " << num(result.fidelity_p95) << ",\n";
+    os << "  \"fidelity_p99\": " << num(result.fidelity_p99) << ",\n";
+  }
   os << "  \"jobs\": [";
   for (std::size_t i = 0; i < result.jobs.size(); ++i) {
     const ScenarioJobResult& job = result.jobs[i];

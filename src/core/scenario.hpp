@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "cloud/topologies.hpp"
+#include "core/streaming.hpp"
 
 namespace cloudqc {
 
@@ -50,6 +51,7 @@ enum class EngineMode {
   kMultiTenant,  ///< run_batch: shared cloud, batch-manager admission
   kIncoming,     ///< run_incoming: arrival trace, FIFO + HoL skipping
   kNetworkSim,   ///< place all jobs up front, one shared NetworkSimulator
+  kStreaming,    ///< run_streaming: bounded-memory stream, aggregates only
 };
 
 /// Placement strategy selector (factories in placement/placement.hpp).
@@ -106,6 +108,12 @@ struct ScenarioEngine {
   bool cache = false;
   /// Entry bound of the cache (circuits, not bytes). Must be >= 1.
   int cache_capacity = 4096;
+  /// Streaming engine only (core/streaming.hpp): bound on the pending set,
+  /// what to do with arrivals when it is full, and the fixed intake-shard
+  /// count the metrics fold is partitioned by.
+  int max_pending = 4096;
+  StreamingBackpressure backpressure = StreamingBackpressure::kDefer;
+  int intake_shards = 8;
 };
 
 /// A full declarative scenario. Parse one from text with parse_scenario()
@@ -157,6 +165,9 @@ struct ScenarioJobResult {
 struct ScenarioResult {
   std::string scenario;
   std::string engine;  ///< canonical engine-mode name
+  /// Per-job outcomes. The streaming engine frees per-job state as jobs
+  /// complete and leaves this EMPTY by design — its run is summarised by
+  /// the stream_* / quantile aggregates below instead.
   std::vector<ScenarioJobResult> jobs;
   /// Latest completion time over placed jobs (0 when none placed).
   double makespan = 0.0;
@@ -174,6 +185,21 @@ struct ScenarioResult {
   std::uint64_t cache_exact_hits = 0;
   std::uint64_t cache_warm_hits = 0;
   std::uint64_t cache_misses = 0;
+  /// Streaming-engine aggregates (mode = streaming; all zero otherwise).
+  /// stream_submitted == stream_completed + stream_rejected at the end of
+  /// a run; quantiles come from the engine's deterministic sketches, so
+  /// they are bit-identical across machines and worker counts.
+  std::uint64_t stream_submitted = 0;
+  std::uint64_t stream_completed = 0;
+  std::uint64_t stream_rejected = 0;
+  std::uint64_t stream_peak_pending = 0;
+  std::uint64_t stream_peak_in_flight = 0;
+  double jct_p50 = 0.0;
+  double jct_p95 = 0.0;
+  double jct_p99 = 0.0;
+  double fidelity_p50 = 0.0;
+  double fidelity_p95 = 0.0;
+  double fidelity_p99 = 0.0;
   /// Host wall-clock of the run — the only non-deterministic field.
   double wall_seconds = 0.0;
 };

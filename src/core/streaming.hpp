@@ -1,0 +1,135 @@
+// Online streaming service layer (ROADMAP "million-job streaming service
+// core"): run an *unbounded* arrival stream through the incoming-mode
+// admission discipline and the shared NetworkSimulator with O(1) memory
+// residual per completed job.
+//
+// Every other engine ingests a full job vector and retains per-job state
+// until the run ends — memory grows O(jobs), so a jobs=1e6 workload is out
+// of reach. run_streaming() replaces both ends of that lifecycle:
+//
+//   intake   — jobs are *pulled* from a JobSource one at a time (never
+//              materialised as a vector) into sharded intake queues; the
+//              pending set is bounded by max_pending with a documented
+//              backpressure policy (defer = stop pulling until admissions
+//              free space, the arrival timestamps are the source's and do
+//              not shift; reject = keep pulling, drop and count overflow).
+//   admission— shards are scanned in fixed index order, FIFO with
+//              head-of-line skipping inside each shard, through the same
+//              AdmissionGate capacity-signature rule and (optional)
+//              placement cache as run_incoming.
+//   drain    — completed jobs fold into per-shard StreamingMetrics
+//              (QuantileSketch JCT + fidelity) and every byte of per-job
+//              state is freed: the engine erases its in-flight record and
+//              the simulator recycles the job slot
+//              (NetworkSimulator::set_recycle_completed). Steady-state
+//              memory is O(max_pending + in-flight + sketch), independent
+//              of how many jobs have streamed through.
+//
+// Jobs that can never fit the cloud's total capacity, and pending jobs
+// that fail a forced placement attempt against a fully idle cloud, are
+// dropped and counted (rejected / rejected_oversize) instead of aborting —
+// a service skips a bad job, it does not wedge a million-job run on one.
+//
+// Determinism contract: a (source, seed, options) triple fully determines
+// the resulting StreamingMetrics at any worker count. The engine is a
+// serial control loop (workers only parallelise a racing placer, which is
+// already worker-count-invariant), intake shards are a fixed option (not
+// the worker count), and shard sketches merge commutatively — so metrics,
+// including every quantile, are bit-identical at 1/2/8 workers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/incoming.hpp"
+#include "metrics/streaming_metrics.hpp"
+
+namespace cloudqc {
+
+/// Pull-based job stream: next() yields jobs with non-decreasing arrival
+/// times until exhausted (nullopt). Sources own their RNG, so a (source
+/// factory args, seed) pair fully determines the stream.
+class JobSource {
+ public:
+  virtual ~JobSource() = default;
+  virtual std::optional<ArrivingJob> next() = 0;
+};
+
+/// Stream over a pre-built trace (tests, QASM lists, parity harnesses).
+std::unique_ptr<JobSource> make_vector_source(std::vector<ArrivingJob> jobs);
+
+/// Streaming twin of poisson_trace(): identical RNG draws per job (gap,
+/// then circuit pick), so the emitted stream equals the materialised trace
+/// element-for-element — without ever holding more than one job.
+std::unique_ptr<JobSource> make_poisson_source(std::vector<std::string> names,
+                                               int num_jobs, double mean_gap,
+                                               std::uint64_t seed);
+
+/// Streaming twin of burst_trace(): groups of `burst_size` simultaneous
+/// arrivals separated by exponential gaps.
+std::unique_ptr<JobSource> make_burst_source(std::vector<std::string> names,
+                                             int num_jobs, int burst_size,
+                                             double mean_gap,
+                                             std::uint64_t seed);
+
+/// What to do with new arrivals while the pending set is at max_pending.
+enum class StreamingBackpressure {
+  /// Stop pulling from the source until admissions free space. Arrival
+  /// timestamps are the source's own and do not shift — deferral delays
+  /// *admission* (queueing time counts into JCT), models an upstream
+  /// buffer that absorbs the burst.
+  kDefer,
+  /// Keep pulling and drop overflow arrivals, counted in
+  /// StreamingMetrics::rejected — models a load-shedding front end.
+  kReject,
+};
+
+/// Mid-run state snapshot handed to StreamingOptions::on_checkpoint.
+struct StreamingProgress {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t pending = 0;    ///< intake queues (arrived, not placed)
+  std::uint64_t in_flight = 0;  ///< placed, still executing
+  double sim_now = 0.0;
+};
+
+/// Knobs of run_streaming.
+struct StreamingOptions {
+  /// Engine RNG seed (placement draws and EPR outcomes derive from it).
+  std::uint64_t seed = 1;
+  /// Change-gated decision points, as in IncomingOptions.
+  bool gated_admission = true;
+  bool gated_allocation = true;
+  /// Optional cross-request placement cache (not owned); at streaming
+  /// traffic this is what keeps placement off the critical path.
+  PlacementCache* cache = nullptr;
+  /// Bound on the pending set (arrived, not yet placed). The engine's
+  /// memory residual is O(max_pending + in-flight + sketches).
+  std::size_t max_pending = 4096;
+  StreamingBackpressure backpressure = StreamingBackpressure::kDefer;
+  /// Intake shard count (>= 1). A *fixed* partition of the fold: job i
+  /// lands in shard i % intake_shards, per-shard sketches merge in shard
+  /// order. Deliberately not tied to any worker count, so the metrics
+  /// partition never changes with parallelism.
+  int intake_shards = 8;
+  /// Invoke on_checkpoint after every `checkpoint_interval` completions
+  /// (0 = never). The callback must not mutate engine state; it exists so
+  /// benches can sample memory/throughput at fractions of the run.
+  std::uint64_t checkpoint_interval = 0;
+  std::function<void(const StreamingProgress&)> on_checkpoint;
+};
+
+/// Drain `source` to completion through the streaming lifecycle above and
+/// return the folded metrics. At return, submitted == completed + rejected
+/// and no per-job state survives.
+StreamingMetrics run_streaming(JobSource& source, QuantumCloud& cloud,
+                               const Placer& placer,
+                               const CommAllocator& allocator,
+                               const StreamingOptions& options);
+
+}  // namespace cloudqc

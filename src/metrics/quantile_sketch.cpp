@@ -1,0 +1,125 @@
+#include "metrics/quantile_sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace cloudqc {
+
+QuantileSketch::QuantileSketch()
+    : buckets_(static_cast<std::size_t>(kNumBuckets), 0) {}
+
+int QuantileSketch::bucket_index(double x) {
+  CLOUDQC_DCHECK(x > 0.0);
+  int exp = 0;
+  const double m = std::frexp(x, &exp);  // x = m * 2^exp, m in [0.5, 1)
+  if (exp < kMinExponent) return 0;
+  if (exp >= kMaxExponent) return kNumBuckets - 1;
+  // m - 0.5 in [0, 0.5): scale by 2 * kSubBuckets for a linear sub-bucket.
+  const int sub = static_cast<int>((m - 0.5) * (2 * kSubBuckets));
+  return (exp - kMinExponent) * kSubBuckets +
+         std::min(sub, kSubBuckets - 1);
+}
+
+double QuantileSketch::bucket_value(int index) {
+  const int exp = index / kSubBuckets + kMinExponent;
+  const int sub = index % kSubBuckets;
+  // Midpoint of the sub-bucket's mantissa span. 0.5 + (sub + 0.5) /
+  // (2 * kSubBuckets) is a sum of exact binary fractions, so a sample that
+  // already sits on a representative round-trips bit-exactly.
+  const double m =
+      0.5 + (static_cast<double>(sub) + 0.5) / (2.0 * kSubBuckets);
+  return std::ldexp(m, exp);
+}
+
+double QuantileSketch::representative(double x) {
+  if (x == 0.0) return 0.0;
+  return bucket_value(bucket_index(x));
+}
+
+void QuantileSketch::add(double x) {
+  CLOUDQC_CHECK_MSG(std::isfinite(x) && x >= 0.0,
+                    "QuantileSketch accepts finite samples >= 0");
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  if (x == 0.0) {
+    ++zero_count_;
+  } else {
+    ++buckets_[static_cast<std::size_t>(bucket_index(x))];
+  }
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  zero_count_ += other.zero_count_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
+double QuantileSketch::sum() const {
+  // Derived purely from bucket state (ascending index order, fixed), so
+  // equal sketches report bit-identical sums regardless of how their
+  // samples were partitioned or merged.
+  double total = 0.0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const std::uint64_t n = buckets_[static_cast<std::size_t>(i)];
+    if (n != 0) total += static_cast<double>(n) * bucket_value(i);
+  }
+  return total;
+}
+
+double QuantileSketch::mean() const {
+  return count_ == 0 ? 0.0 : sum() / static_cast<double>(count_);
+}
+
+double QuantileSketch::quantile(double q) const {
+  CLOUDQC_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile q must be in [0, 1]");
+  if (count_ == 0) return 0.0;
+  // Nearest-rank (0-indexed): the sample at rank floor(q * (count - 1)).
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1));
+  // The extreme ranks are tracked exactly — report them exactly, even for
+  // samples whose magnitude clamped onto the edge buckets.
+  if (target == 0) return min_;
+  if (target == count_ - 1) return max_;
+  if (target < zero_count_) return 0.0;
+  std::uint64_t cum = zero_count_;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cum += buckets_[static_cast<std::size_t>(i)];
+    if (cum > target) {
+      return std::min(std::max(bucket_value(i), min_), max_);
+    }
+  }
+  return max_;  // unreachable when counts are consistent
+}
+
+std::size_t QuantileSketch::memory_bytes() const {
+  return sizeof(QuantileSketch) + buckets_.capacity() * sizeof(std::uint64_t);
+}
+
+bool QuantileSketch::operator==(const QuantileSketch& other) const {
+  if (count_ != other.count_ || zero_count_ != other.zero_count_) {
+    return false;
+  }
+  if (count_ != 0 && (min_ != other.min_ || max_ != other.max_)) {
+    return false;
+  }
+  return buckets_ == other.buckets_;
+}
+
+}  // namespace cloudqc

@@ -1,0 +1,109 @@
+// Deterministic, mergeable, fixed-size quantile sketch for streaming
+// aggregates (P50/P95/P99 JCT and fidelity over millions of jobs).
+//
+// The sketch is a log-linear histogram (HdrHistogram idiom): each finite
+// non-negative sample lands in one of a *fixed* set of buckets — the
+// sample's binary exponent selects an octave, the top mantissa bits select
+// a linear sub-bucket inside it — and only the bucket's count changes.
+// That buys the three properties the streaming service layer needs:
+//
+//   - Bounded memory: the bucket array is allocated once and never grows;
+//     1e5 or 1e9 inserts occupy exactly the same bytes (memory_bytes()).
+//   - Deterministic, order-independent merges: merging is element-wise
+//     uint64 addition, which is commutative AND associative, so merged
+//     results are bit-identical regardless of merge order or how samples
+//     were partitioned across shards/workers. There is no RNG anywhere
+//     (unlike KLL/reservoir sketches), so "seed-independent merge order"
+//     holds by construction.
+//   - Bounded relative error: a bucket spans a relative width of at most
+//     kRelativeError, and quantile() answers with the geometric bucket
+//     midpoint, so every estimate is within kRelativeError/2 of some
+//     sample whose rank matches the requested one.
+//
+// Every derived statistic (quantiles, mean, sum) is computed from the
+// bucket counts alone — no insertion-order float accumulation — so two
+// sketches with equal bucket state report bit-identical statistics. Exact
+// min/max are tracked separately (both are order-independent).
+//
+// Accepted domain: finite samples >= 0 (JCTs and fidelities). Zero has a
+// dedicated bucket; values below 2^kMinExponent clamp onto the smallest
+// bucket and values at/above 2^kMaxExponent onto the largest (min/max stay
+// exact). add() CHECK-fails on negative or non-finite input.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cloudqc {
+
+class QuantileSketch {
+ public:
+  /// Sub-buckets per octave (power of two). 128 sub-buckets give a
+  /// relative bucket width of at most 1/128 (~0.8%).
+  static constexpr int kSubBuckets = 128;
+  /// Octave range: exponents in [kMinExponent, kMaxExponent) as reported
+  /// by std::frexp (value = m * 2^e, m in [0.5, 1)). [-64, 64) spans
+  /// ~5e-20 .. ~9e18 — every JCT/fidelity the simulator can produce.
+  static constexpr int kMinExponent = -64;
+  static constexpr int kMaxExponent = 64;
+  static constexpr int kNumBuckets =
+      (kMaxExponent - kMinExponent) * kSubBuckets;
+  /// Worst-case relative width of one bucket (error bound of quantile()).
+  static constexpr double kRelativeError = 1.0 / kSubBuckets;
+
+  QuantileSketch();
+
+  /// Insert one sample. Precondition: finite and >= 0.
+  void add(double x);
+
+  /// Fold `other` in (element-wise count addition). Commutative and
+  /// associative: any merge tree over the same multiset of samples yields
+  /// a bit-identical sketch.
+  void merge(const QuantileSketch& other);
+
+  std::uint64_t count() const { return count_; }
+  /// Exact extremes of the inserted samples (0 when empty).
+  double minimum() const { return count_ == 0 ? 0.0 : min_; }
+  double maximum() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Approximate sum/mean derived from bucket representatives (within
+  /// kRelativeError relative error), deterministic under any merge order.
+  double sum() const;
+  double mean() const;
+
+  /// Value estimate at quantile q in [0, 1]: the representative of the
+  /// bucket holding the sample of rank floor(q * (count - 1)), clamped to
+  /// [minimum(), maximum()]. The extreme ranks (0 and count - 1) report
+  /// the exact min/max. 0 when empty. A sample that *is* a bucket
+  /// representative is returned bit-exactly (the exact-rank parity the
+  /// sketch tests rely on).
+  double quantile(double q) const;
+
+  /// Fixed footprint of the bucket array + scalars; identical before and
+  /// after any number of inserts.
+  std::size_t memory_bytes() const;
+
+  /// Bucket-state equality (counts, count, exact min/max). Two equal
+  /// sketches report bit-identical statistics.
+  bool operator==(const QuantileSketch& other) const;
+  bool operator!=(const QuantileSketch& other) const {
+    return !(*this == other);
+  }
+
+  /// Representative (geometric bucket midpoint) a sample would be reported
+  /// as. Exposed so tests can build inputs with exact-rank parity.
+  static double representative(double x);
+
+ private:
+  static int bucket_index(double x);
+  static double bucket_value(int index);
+
+  std::vector<std::uint64_t> buckets_;  // kNumBuckets, fixed
+  std::uint64_t zero_count_ = 0;
+  std::uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace cloudqc

@@ -25,7 +25,15 @@ int NetworkSimulator::add_job(const Circuit& circuit,
                               std::vector<QpuId> qubit_to_qpu) {
   CLOUDQC_CHECK(qubit_to_qpu.size() ==
                 static_cast<std::size_t>(circuit.num_qubits()));
-  const int id = static_cast<int>(jobs_.size());
+  int id;
+  if (recycle_completed_ && !free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    id = static_cast<int>(jobs_.size());
+    jobs_.emplace_back();
+  }
+  ++jobs_admitted_;
   CircuitDag dag(circuit);
   RemoteDag remote(circuit, dag, qubit_to_qpu, cloud_);
 
@@ -46,17 +54,29 @@ int NetworkSimulator::add_job(const Circuit& circuit,
   job.admitted = now_;
   job.dag = std::move(dag);
   job.remote = std::move(remote);
-  jobs_.push_back(std::move(job));
+  jobs_[static_cast<std::size_t>(id)] = std::move(job);
 
-  if (jobs_.back().gates_left == 0) {
-    jobs_.back().done = true;
+  Job& admitted = jobs_[static_cast<std::size_t>(id)];
+  if (admitted.gates_left == 0) {
+    admitted.done = true;
+    if (recycle_completed_) release_job(id);
   } else {
-    for (const int g : jobs_.back().dag.front_layer()) {
+    for (const int g : admitted.dag.front_layer()) {
       on_ready(id, g);
     }
     maybe_allocate();
   }
   return id;
+}
+
+void NetworkSimulator::release_job(int job_id) {
+  // Every gate of the job has fired its one GateDone event and no waiting
+  // remote op can reference it, so the slot holds no reachable state —
+  // replace it with an empty Job (frees the DAGs and vectors) and queue
+  // the slot for reuse. O(1) residual per completed job.
+  jobs_[static_cast<std::size_t>(job_id)] = Job{};
+  jobs_[static_cast<std::size_t>(job_id)].done = true;
+  free_slots_.push_back(job_id);
 }
 
 double NetworkSimulator::gate_duration(const Job& job, int gate) const {
@@ -265,8 +285,10 @@ std::optional<JobCompletion> NetworkSimulator::step() {
   Job& job = jobs_[static_cast<std::size_t>(done.job)];
   if (job.gates_left == 0 && !job.done) {
     job.done = true;
-    return JobCompletion{done.job, now_, std::exp(job.log_fidelity),
-                         job.log_fidelity};
+    const JobCompletion completion{done.job, now_, std::exp(job.log_fidelity),
+                                   job.log_fidelity};
+    if (recycle_completed_) release_job(done.job);
+    return completion;
   }
   return std::nullopt;
 }

@@ -102,8 +102,26 @@ class NetworkSimulator {
 
   SimTime now() const { return now_; }
 
-  /// Number of jobs admitted so far.
-  int num_jobs() const { return static_cast<int>(jobs_.size()); }
+  /// Number of jobs admitted so far (recycled slots still count).
+  int num_jobs() const { return jobs_admitted_; }
+
+  /// Job slots currently holding live (admitted, not yet completed) state.
+  /// With recycling on this is the simulator's memory bound; without it,
+  /// it equals num_jobs().
+  std::size_t live_jobs() const { return jobs_.size() - free_slots_.size(); }
+
+  /// Recycle completed job slots (default off): when a job completes, its
+  /// per-job state (DAG, remote DAG, mapping) is released and the slot is
+  /// reused by a later add_job — the streaming engine's O(1)-residual
+  /// contract. Job ids handed out by add_job are then *not* unique across
+  /// the run (a completion's id may be reassigned by the next add_job), so
+  /// callers must consume each JobCompletion before admitting more work.
+  /// Event trajectories, completion times and fidelities are bit-identical
+  /// to the non-recycled run — allocation decisions never read job ids —
+  /// only the id labels differ. Off by default: the batch engines hand out
+  /// stable ids for post-run joins.
+  void set_recycle_completed(bool enabled) { recycle_completed_ = enabled; }
+  bool recycle_completed() const { return recycle_completed_; }
 
   /// Total EPR attempt rounds consumed so far (all jobs) — a network-cost
   /// counter used by benches and tests.
@@ -168,6 +186,8 @@ class NetworkSimulator {
   /// since the last round (always, when change gating is off).
   void maybe_allocate();
   void finish_gate(const GateDone& done);
+  /// Free a completed job's per-job state and queue its slot for reuse.
+  void release_job(int job_id);
   double gate_duration(const Job& job, int gate) const;
 
   const QuantumCloud& cloud_;
@@ -177,6 +197,10 @@ class NetworkSimulator {
   EprModel epr_;
   EventQueue<GateDone> events_;
   std::vector<Job> jobs_;
+  /// Completed slots awaiting reuse (recycle mode), LIFO for locality.
+  std::vector<int> free_slots_;
+  int jobs_admitted_ = 0;
+  bool recycle_completed_ = false;
   /// Waiting remote ops as (job, gate).
   std::vector<std::pair<int, int>> waiting_remote_;
   /// Free communication qubits per QPU (simulator-owned view).

@@ -161,6 +161,54 @@ TEST(Incoming, AdmissionGateSuppressesRetriesWithoutRelease) {
   }
 }
 
+TEST(Incoming, MetricsSinkMatchesPerJobStats) {
+  QuantumCloud cloud = paper_cloud();
+  const auto placer = make_cloudqc_placer();
+  const auto alloc = make_cloudqc_allocator();
+  Rng rng(5);
+  const auto trace = poisson_trace({"ising_n34", "ghz_n127"}, 8, 300.0, rng);
+  StreamingMetrics metrics;
+  IncomingOptions options;
+  options.seed = 13;
+  options.metrics = &metrics;
+  const auto stats = run_incoming(trace, cloud, *placer, *alloc, options);
+  ASSERT_EQ(stats.size(), trace.size());
+
+  // The sink must hold exactly the fold of the returned per-job table
+  // (sketch merges are order-independent, so per-job insert order is
+  // irrelevant).
+  StreamingMetrics expected;
+  expected.submitted = trace.size();
+  for (const auto& s : stats) {
+    expected.record_completion(s.jct(), s.est_fidelity, s.completion_time);
+  }
+  EXPECT_TRUE(metrics == expected);
+  EXPECT_EQ(metrics.completed, trace.size());
+}
+
+TEST(Incoming, AggregateOnlyModeReturnsNoTableSameMetrics) {
+  const auto placer = make_cloudqc_placer();
+  const auto alloc = make_cloudqc_allocator();
+  Rng rng(5);
+  const auto trace = poisson_trace({"ising_n34", "ghz_n127"}, 8, 300.0, rng);
+
+  QuantumCloud cloud_a = paper_cloud();
+  StreamingMetrics with_table;
+  IncomingOptions options;
+  options.seed = 13;
+  options.metrics = &with_table;
+  run_incoming(trace, cloud_a, *placer, *alloc, options);
+
+  QuantumCloud cloud_b = paper_cloud();
+  StreamingMetrics aggregate_only;
+  options.metrics = &aggregate_only;
+  options.per_job_stats = false;
+  const auto stats = run_incoming(trace, cloud_b, *placer, *alloc, options);
+
+  EXPECT_TRUE(stats.empty());  // the O(jobs) table was never built
+  EXPECT_TRUE(aggregate_only == with_table);  // same run, same fold
+}
+
 TEST(Incoming, HigherLoadIncreasesMeanJct) {
   const auto placer = make_cloudqc_placer();
   const auto alloc = make_cloudqc_allocator();

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "metrics/quantile_sketch.hpp"
+
+namespace cloudqc {
+namespace {
+
+/// Nearest-rank oracle matching quantile()'s rank rule: the sorted sample
+/// at index floor(q * (n - 1)).
+double oracle_quantile(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(xs.size() - 1));
+  return xs[rank];
+}
+
+TEST(QuantileSketch, EmptySketchReportsZeros) {
+  const QuantileSketch s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.minimum(), 0.0);
+  EXPECT_EQ(s.maximum(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+}
+
+// Inputs that are exact bucket representatives round-trip bitwise, so the
+// sketch must match the sorted-vector oracle *exactly* at every rank.
+TEST(QuantileSketch, ExactRankParityOnRepresentativeInputs) {
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 257; ++i) {
+    xs.push_back(QuantileSketch::representative(rng.uniform() * 1e4 + 0.5));
+  }
+  QuantileSketch s;
+  for (const double x : xs) s.add(x);
+  for (const double q : {0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(s.quantile(q), oracle_quantile(xs, q)) << "q = " << q;
+  }
+}
+
+TEST(QuantileSketch, RelativeErrorBoundOnArbitraryInputs) {
+  Rng rng(23);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    // Log-uniform over ~9 decades to exercise many octaves.
+    xs.push_back(std::exp(rng.uniform() * 20.0 - 10.0));
+  }
+  QuantileSketch s;
+  for (const double x : xs) s.add(x);
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    const double exact = oracle_quantile(xs, q);
+    const double approx = s.quantile(q);
+    EXPECT_NEAR(approx, exact, exact * QuantileSketch::kRelativeError)
+        << "q = " << q;
+  }
+}
+
+TEST(QuantileSketch, ExactMinMaxAndClampedQuantiles) {
+  QuantileSketch s;
+  s.add(3.7);
+  s.add(0.123);
+  s.add(41.5);
+  EXPECT_EQ(s.minimum(), 0.123);
+  EXPECT_EQ(s.maximum(), 41.5);
+  // Extreme quantiles clamp onto the exact extremes, not the bucket mid.
+  EXPECT_EQ(s.quantile(0.0), 0.123);
+  EXPECT_EQ(s.quantile(1.0), 41.5);
+}
+
+TEST(QuantileSketch, ZeroSamplesHaveADedicatedBucket) {
+  QuantileSketch s;
+  s.add(0.0);
+  s.add(0.0);
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_EQ(s.minimum(), 0.0);
+  EXPECT_EQ(s.quantile(0.0), 0.0);
+  EXPECT_EQ(s.quantile(0.5), 0.0);  // rank 1 of 3 is the second zero
+  EXPECT_GT(s.quantile(1.0), 0.0);
+}
+
+TEST(QuantileSketch, RejectsNegativeAndNonFinite) {
+  QuantileSketch s;
+  EXPECT_THROW(s.add(-1.0), std::logic_error);
+  EXPECT_THROW(s.add(std::nan("")), std::logic_error);
+  EXPECT_THROW(s.add(std::numeric_limits<double>::infinity()),
+               std::logic_error);
+}
+
+// Merge is commutative and associative at the bucket level, so any
+// partition of a sample stream over any merge tree must produce a sketch
+// that is operator== to the single-sketch fold — the exact property the
+// 1/2/8-worker determinism contract leans on.
+TEST(QuantileSketch, MergePartitionInvariance) {
+  Rng rng(31);
+  std::vector<double> xs;
+  for (int i = 0; i < 4096; ++i) {
+    xs.push_back(std::exp(rng.uniform() * 12.0 - 6.0));
+  }
+  QuantileSketch whole;
+  for (const double x : xs) whole.add(x);
+
+  for (const std::size_t shards : {2u, 8u}) {
+    std::vector<QuantileSketch> parts(shards);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      parts[i % shards].add(xs[i]);
+    }
+    // Forward merge order.
+    QuantileSketch forward;
+    for (const QuantileSketch& p : parts) forward.merge(p);
+    EXPECT_EQ(forward, whole);
+    // Reverse merge order — bit-identical result.
+    QuantileSketch reverse;
+    for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+      reverse.merge(*it);
+    }
+    EXPECT_EQ(reverse, whole);
+    // Derived statistics come from bucket state alone.
+    EXPECT_EQ(forward.sum(), whole.sum());
+    EXPECT_EQ(forward.quantile(0.95), whole.quantile(0.95));
+  }
+}
+
+TEST(QuantileSketch, MergeCommutes) {
+  QuantileSketch a, b;
+  for (int i = 1; i <= 100; ++i) a.add(static_cast<double>(i));
+  for (int i = 1; i <= 50; ++i) b.add(static_cast<double>(i) * 0.01);
+  QuantileSketch ab = a;
+  ab.merge(b);
+  QuantileSketch ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);
+  EXPECT_EQ(ab.count(), 150u);
+  EXPECT_EQ(ab.minimum(), 0.01);
+  EXPECT_EQ(ab.maximum(), 100.0);
+}
+
+TEST(QuantileSketch, BoundedMemoryAcrossManyInserts) {
+  QuantileSketch s;
+  const std::size_t before = s.memory_bytes();
+  EXPECT_GT(before, 0u);
+  Rng rng(47);
+  for (int i = 0; i < 100000; ++i) {
+    s.add(std::exp(rng.uniform() * 30.0 - 15.0));
+  }
+  EXPECT_EQ(s.memory_bytes(), before);
+  EXPECT_EQ(s.count(), 100000u);
+}
+
+TEST(QuantileSketch, OutOfRangeMagnitudesClampButStayCounted) {
+  QuantileSketch s;
+  const double tiny = std::ldexp(1.0, QuantileSketch::kMinExponent - 8);
+  const double huge = std::ldexp(1.0, QuantileSketch::kMaxExponent + 8);
+  s.add(tiny);
+  s.add(huge);
+  EXPECT_EQ(s.count(), 2u);
+  // min/max stay exact even though the buckets clamp.
+  EXPECT_EQ(s.minimum(), tiny);
+  EXPECT_EQ(s.maximum(), huge);
+  EXPECT_EQ(s.quantile(0.0), tiny);
+  EXPECT_EQ(s.quantile(1.0), huge);
+}
+
+TEST(QuantileSketch, MeanTracksExactMeanWithinRelativeError) {
+  Rng rng(59);
+  QuantileSketch s;
+  double exact_sum = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform() * 500.0 + 1.0;
+    exact_sum += x;
+    s.add(x);
+  }
+  const double exact_mean = exact_sum / 5000.0;
+  EXPECT_NEAR(s.mean(), exact_mean,
+              exact_mean * QuantileSketch::kRelativeError);
+}
+
+}  // namespace
+}  // namespace cloudqc

@@ -16,6 +16,7 @@
 #include "core/incoming.hpp"
 #include "core/multi_tenant.hpp"
 #include "core/scenario.hpp"
+#include "core/streaming.hpp"
 #include "graph/topology.hpp"
 #include "placement/placement.hpp"
 #include "schedule/allocators.hpp"
@@ -98,6 +99,41 @@ TEST(ScenarioParserTest, RejectsInconsistentSpecs) {
       parse_scenario("[workload]\ncircuits = ising_n34\n"
                      "[engine]\nworkers = 0\n"),
       ScenarioError);
+}
+
+TEST(ScenarioParserTest, ParsesStreamingEngineKeys) {
+  const char* text =
+      "[workload]\n"
+      "circuits = ising_n34\n"
+      "[engine]\n"
+      "mode = streaming\n"
+      "max_pending = 32\n"
+      "backpressure = reject\n"
+      "intake_shards = 2\n";
+  const ScenarioSpec spec = parse_scenario(text, "s");
+  EXPECT_EQ(spec.engine.mode, EngineMode::kStreaming);
+  EXPECT_EQ(spec.engine.max_pending, 32);
+  EXPECT_EQ(spec.engine.backpressure, StreamingBackpressure::kReject);
+  EXPECT_EQ(spec.engine.intake_shards, 2);
+
+  // The streaming knobs survive the emit/reparse cycle.
+  const std::string ini = to_ini(spec);
+  EXPECT_NE(ini.find("mode = streaming"), std::string::npos);
+  EXPECT_NE(ini.find("backpressure = reject"), std::string::npos);
+  const ScenarioSpec reparsed = parse_scenario(ini, "s");
+  EXPECT_EQ(to_ini(reparsed), ini);
+  EXPECT_EQ(reparsed.engine.max_pending, 32);
+  EXPECT_EQ(reparsed.engine.intake_shards, 2);
+}
+
+TEST(ScenarioParserTest, RejectsInvalidStreamingKnobs) {
+  const std::string prefix =
+      "[workload]\ncircuits = ising_n34\n[engine]\nmode = streaming\n";
+  EXPECT_THROW(parse_scenario(prefix + "max_pending = 0\n"), ScenarioError);
+  EXPECT_THROW(parse_scenario(prefix + "intake_shards = 0\n"),
+               ScenarioError);
+  EXPECT_THROW(parse_scenario(prefix + "backpressure = drop_oldest\n"),
+               ScenarioError);
 }
 
 TEST(ScenarioParserTest, IniRoundTripIsStable) {
@@ -233,6 +269,53 @@ TEST(ScenarioTest, TorusNetworkSimSpecMatchesHandWiredSimulator) {
   EXPECT_EQ(result.placement_calls, result.jobs.size());
 }
 
+// Same contract for the streaming engine: the mode=streaming smoke spec
+// is bit-identical to hand-wiring make_poisson_source + run_streaming
+// with the spec's knobs. Streaming results carry no per-job table, so the
+// comparison is over the aggregate record (counters, makespan, means and
+// sketch quantiles) — which is exactly what the golden file freezes.
+TEST(ScenarioTest, StreamingSmokeSpecMatchesHandWiredRun) {
+  const ScenarioSpec spec =
+      load_scenario_file(scenario_path("streaming_smoke.ini"));
+  ASSERT_EQ(spec.engine.mode, EngineMode::kStreaming);
+  const ScenarioResult result = run_scenario(spec);
+  EXPECT_TRUE(result.jobs.empty());  // per-job state was freed in flight
+
+  QuantumCloud cloud = build_cloud(spec.cloud);
+  const auto placer = make_cloudqc_placer();
+  const auto alloc = make_cloudqc_allocator();
+  const auto source =
+      make_poisson_source(spec.workload.circuits, spec.workload.trace_jobs,
+                          spec.workload.trace_mean_gap,
+                          spec.workload.trace_seed);
+  StreamingOptions options;
+  options.seed = spec.engine.seed;
+  options.gated_admission = spec.engine.gated_admission;
+  options.gated_allocation = spec.engine.gated_allocation;
+  options.max_pending = static_cast<std::size_t>(spec.engine.max_pending);
+  options.backpressure = spec.engine.backpressure;
+  options.intake_shards = spec.engine.intake_shards;
+  const StreamingMetrics metrics =
+      run_streaming(*source, cloud, *placer, *alloc, options);
+
+  EXPECT_EQ(result.stream_submitted, metrics.submitted);
+  EXPECT_EQ(result.stream_completed, metrics.completed);
+  EXPECT_EQ(result.stream_rejected, metrics.rejected);
+  EXPECT_EQ(result.stream_peak_pending, metrics.peak_pending);
+  EXPECT_EQ(result.stream_peak_in_flight, metrics.peak_in_flight);
+  EXPECT_EQ(result.makespan, metrics.makespan);
+  EXPECT_EQ(result.mean_jct, metrics.jct.mean());
+  EXPECT_EQ(result.mean_fidelity, metrics.fidelity.mean());
+  EXPECT_EQ(result.jct_p50, metrics.jct_p50());
+  EXPECT_EQ(result.jct_p95, metrics.jct_p95());
+  EXPECT_EQ(result.jct_p99, metrics.jct_p99());
+  EXPECT_EQ(result.fidelity_p50, metrics.fidelity_p50());
+  EXPECT_EQ(result.fidelity_p95, metrics.fidelity_p95());
+  EXPECT_EQ(result.fidelity_p99, metrics.fidelity_p99());
+  EXPECT_EQ(metrics.completed, static_cast<std::uint64_t>(
+                                   spec.workload.trace_jobs));
+}
+
 TEST(ScenarioTest, BatchEngineMetricsAreWorkerCountInvariant) {
   ScenarioSpec spec;
   spec.name = "workers";
@@ -293,6 +376,35 @@ TEST(ScenarioTest, WriteBenchJsonEmitsArtifactFormat) {
   EXPECT_NE(content.str().find("\"engine\": \"batch\""), std::string::npos);
   EXPECT_NE(content.str().find("\"makespan\": "), std::string::npos);
   EXPECT_NE(content.str().find("\"placement_calls\": "), std::string::npos);
+  // Non-streaming artifacts carry no streaming block: existing goldens and
+  // bench JSONs stay byte-identical to the pre-streaming format.
+  EXPECT_EQ(content.str().find("\"stream_submitted\""), std::string::npos);
+}
+
+TEST(ScenarioTest, GoldenJsonRecordsStreamingAggregates) {
+  ScenarioSpec spec;
+  spec.name = "golden_stream";
+  spec.cloud.num_qpus = 6;
+  spec.cloud.family = TopologyFamily::kRing;
+  spec.workload.circuits = {"ising_n34", "vqe_uccsd_n28"};
+  spec.engine.mode = EngineMode::kStreaming;
+  spec.engine.seed = 4;
+  const ScenarioResult result = run_scenario(spec);
+  const std::string path = write_golden_json(result, ::testing::TempDir());
+  ASSERT_FALSE(path.empty());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("\"engine\": \"streaming\""),
+            std::string::npos);
+  EXPECT_NE(content.str().find("\"stream_submitted\": 2"),
+            std::string::npos);
+  EXPECT_NE(content.str().find("\"jct_p99\": "), std::string::npos);
+  EXPECT_NE(content.str().find("\"fidelity_p50\": "), std::string::npos);
+  // The per-job table is empty by design for streaming runs.
+  EXPECT_NE(content.str().find("\"jobs\": [\n  ]"), std::string::npos);
+  EXPECT_NE(content.str().find("\"num_jobs\": 0"), std::string::npos);
 }
 
 }  // namespace

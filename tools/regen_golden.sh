@@ -6,29 +6,38 @@
 # byte-for-byte, so any change to engine trajectories — intended or not —
 # shows up as a reviewable diff to scenarios/golden/.
 #
-# Usage: tools/regen_golden.sh [build-dir]    (default: build)
+# Usage: tools/regen_golden.sh [build-dir] [out-dir]
+#   build-dir  where scenario_runner lives / is built (default: build)
+#   out-dir    where the goldens are written (default: scenarios/golden).
+#              CI points this at a temp dir and diffs it against the
+#              committed corpus, so the checkout is never mutated there.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-scenarios/golden}"
 if [ ! -x "$BUILD_DIR/scenario_runner" ]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build "$BUILD_DIR" -j --target scenario_runner
 fi
 
-mkdir -p scenarios/golden
+mkdir -p "$OUT_DIR"
 for spec in scenarios/*.ini; do
   name="$(basename "$spec" .ini)"
   echo "== $name"
-  "$BUILD_DIR/scenario_runner" "$spec" --golden scenarios/golden --quiet
+  "$BUILD_DIR/scenario_runner" "$spec" --golden "$OUT_DIR" --quiet
 done
 
-# Drop goldens whose spec no longer exists, so the corpus never goes stale.
-for golden in scenarios/golden/*.golden.json; do
-  [ -f "$golden" ] || continue
-  name="$(basename "$golden" .golden.json)"
-  if [ ! -f "scenarios/$name.ini" ]; then
-    echo "== removing stale $golden"
-    rm "$golden"
-  fi
-done
+# Drop goldens whose spec no longer exists, so the corpus never goes
+# stale. Only meaningful for the committed corpus: a fresh out-dir holds
+# exactly the specs that exist, and CI's diff -r flags strays by itself.
+if [ "$OUT_DIR" = "scenarios/golden" ]; then
+  for golden in scenarios/golden/*.golden.json; do
+    [ -f "$golden" ] || continue
+    name="$(basename "$golden" .golden.json)"
+    if [ ! -f "scenarios/$name.ini" ]; then
+      echo "== removing stale $golden"
+      rm "$golden"
+    fi
+  done
+fi
