@@ -68,6 +68,53 @@ int main(int argc, char** argv) {
 
   try {
     const ScenarioSpec spec = load_scenario_file(spec_path);
+
+    // A spec with a [sweep] section runs the whole grid instead of a
+    // single point; its artifacts use the sweep writers.
+    if (!spec.sweep.empty()) {
+      const SweepResult sweep = run_sweep(spec);
+      std::printf("=== sweep %s: %zu points ===\n", sweep.name.c_str(),
+                  sweep.points.size());
+      if (!quiet) {
+        TextTable table({"assignment", "jobs", "makespan", "mean JCT",
+                         "fidelity", "placements"});
+        for (const auto& point : sweep.points) {
+          std::string assignment;
+          for (std::size_t j = 0; j < point.assignment.size(); ++j) {
+            if (j > 0) assignment += " ";
+            assignment +=
+                point.assignment[j].first + "=" + point.assignment[j].second;
+          }
+          const ScenarioResult& r = point.result;
+          table.add_row({assignment, std::to_string(r.jobs.size()),
+                         fmt_double(r.makespan, 1), fmt_double(r.mean_jct, 1),
+                         fmt_double(r.mean_fidelity, 4),
+                         std::to_string(r.placement_calls)});
+        }
+        std::ostringstream os;
+        table.print(os);
+        std::fputs(os.str().c_str(), stdout);
+      }
+      std::printf("wall: %.3fs\n", sweep.wall_seconds);
+      if (write_json) {
+        const std::string path = write_sweep_json(sweep, json_dir);
+        if (path.empty()) {
+          std::fprintf(stderr, "error: could not write BENCH json\n");
+          return 1;
+        }
+        std::printf("wrote %s\n", path.c_str());
+      }
+      if (write_golden) {
+        const std::string path = write_sweep_golden_json(sweep, golden_dir);
+        if (path.empty()) {
+          std::fprintf(stderr, "error: could not write golden json\n");
+          return 1;
+        }
+        std::printf("wrote %s\n", path.c_str());
+      }
+      return 0;
+    }
+
     const ScenarioResult result = run_scenario(spec);
 
     std::printf("=== scenario %s ===\n", result.scenario.c_str());
@@ -128,6 +175,16 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(result.cache_exact_hits),
           static_cast<unsigned long long>(result.cache_warm_hits),
           static_cast<unsigned long long>(result.cache_misses));
+    }
+    if (!result.tenants.empty()) {
+      for (const auto& t : result.tenants) {
+        std::printf(
+            "tenant %s: %zu jobs | mean JCT %.1f | p95 %.1f | "
+            "SLO(%.0f) attainment %.3f\n",
+            t.name.c_str(), t.jobs, t.mean_jct, t.jct_p95, t.slo_target,
+            t.slo_attainment);
+      }
+      std::printf("Jain fairness: %.4f\n", result.jain_fairness);
     }
 
     if (write_json) {

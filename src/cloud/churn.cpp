@@ -1,0 +1,107 @@
+#include "cloud/churn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace cloudqc {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::invalid_argument("churn: " + message);
+}
+
+}  // namespace
+
+ChurnPlan build_churn_plan(const ChurnSpec& spec, int num_qpus) {
+  if (num_qpus <= 0) fail("cloud has no QPUs");
+  if (spec.random_windows < 0) fail("random_windows must be >= 0");
+  if (spec.random_windows > 0) {
+    if (spec.horizon <= 0.0) fail("horizon must be > 0");
+    if (spec.mean_duration <= 0.0) fail("mean_duration must be > 0");
+  }
+  if (spec.drift_amplitude < 0.0 || spec.drift_amplitude >= 1.0) {
+    fail("drift_amplitude must be in [0, 1)");
+  }
+  if (spec.drift_amplitude > 0.0 && spec.drift_period <= 0.0) {
+    fail("drift_period must be > 0");
+  }
+
+  std::vector<MaintenanceWindow> windows = spec.windows;
+  for (const MaintenanceWindow& w : windows) {
+    if (w.qpu < 0 || w.qpu >= num_qpus) {
+      fail("window qpu " + std::to_string(w.qpu) +
+           " out of range for a cloud of " + std::to_string(num_qpus));
+    }
+    if (w.start < 0.0) fail("window start must be >= 0");
+    if (w.end <= w.start) fail("window end must be > start");
+  }
+  // Generated windows: a fixed draw order (qpu, start, duration) keeps
+  // the timeline a pure function of the spec seed.
+  Rng rng(spec.seed);
+  for (int i = 0; i < spec.random_windows; ++i) {
+    MaintenanceWindow w;
+    w.qpu = static_cast<int>(rng.below(static_cast<std::uint64_t>(num_qpus)));
+    w.start = rng.uniform() * spec.horizon;
+    const double duration =
+        -spec.mean_duration * std::log1p(-rng.uniform());
+    w.end = w.start + std::max(duration, 1e-9);
+    windows.push_back(w);
+  }
+
+  ChurnPlan plan;
+  plan.policy = spec.policy;
+  plan.drift_amplitude = spec.drift_amplitude;
+  plan.drift_period = spec.drift_period;
+
+  // Merge overlapping/touching windows per QPU so each QPU's events
+  // strictly alternate offline -> online.
+  std::vector<std::vector<MaintenanceWindow>> per_qpu(
+      static_cast<std::size_t>(num_qpus));
+  for (const MaintenanceWindow& w : windows) {
+    per_qpu[static_cast<std::size_t>(w.qpu)].push_back(w);
+  }
+  for (int q = 0; q < num_qpus; ++q) {
+    auto& ws = per_qpu[static_cast<std::size_t>(q)];
+    std::sort(ws.begin(), ws.end(),
+              [](const MaintenanceWindow& a, const MaintenanceWindow& b) {
+                if (a.start != b.start) return a.start < b.start;
+                return a.end < b.end;
+              });
+    std::size_t i = 0;
+    while (i < ws.size()) {
+      double start = ws[i].start;
+      double end = ws[i].end;
+      std::size_t j = i + 1;
+      while (j < ws.size() && ws[j].start <= end) {
+        end = std::max(end, ws[j].end);
+        ++j;
+      }
+      plan.events.push_back(ChurnEvent{start, q, true});
+      plan.events.push_back(ChurnEvent{end, q, false});
+      i = j;
+    }
+  }
+  std::sort(plan.events.begin(), plan.events.end(),
+            [](const ChurnEvent& a, const ChurnEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              // Online edges first: capacity returning at time t is
+              // visible to the outage starting at t.
+              if (a.offline != b.offline) return !a.offline;
+              return a.qpu < b.qpu;
+            });
+  return plan;
+}
+
+double calibration_drift_factor(double t, double amplitude, double period) {
+  if (amplitude <= 0.0) return 1.0;
+  return 1.0 - amplitude * 0.5 * (1.0 - std::cos(2.0 * kPi * t / period));
+}
+
+}  // namespace cloudqc

@@ -12,8 +12,10 @@ AdmissionGate::AdmissionGate(std::size_t expected_jobs, bool enabled)
 
 void AdmissionGate::refresh(const QuantumCloud& cloud) {
   free_.resize(static_cast<std::size_t>(cloud.num_qpus()));
+  total_free_ = 0;
   for (QpuId q = 0; q < cloud.num_qpus(); ++q) {
     free_[static_cast<std::size_t>(q)] = cloud.qpu(q).free_computing();
+    total_free_ += free_[static_cast<std::size_t>(q)];
   }
 }
 
@@ -21,16 +23,22 @@ bool AdmissionGate::should_attempt(std::size_t job) const {
   if (!enabled_) return true;
   const auto it = failed_free_.find(job);
   if (it == failed_free_.end()) return true;
-  const std::vector<int>& at_failure = it->second;
+  // A placement reserves exactly `requirement` computing qubits in total,
+  // so a cloud whose total free capacity is short cannot admit the job no
+  // matter how the released qubits are distributed.
+  if (static_cast<long long>(it->second.requirement) > total_free_) {
+    return false;
+  }
+  const std::vector<int>& at_failure = it->second.free;
   for (std::size_t q = 0; q < free_.size(); ++q) {
     if (free_[q] > at_failure[q]) return true;
   }
   return false;
 }
 
-void AdmissionGate::record_failure(std::size_t job) {
+void AdmissionGate::record_failure(std::size_t job, int requirement) {
   if (!enabled_) return;
-  failed_free_[job] = free_;
+  failed_free_[job] = FailureRecord{free_, requirement};
 }
 
 void AdmissionGate::record_admission(std::size_t job) {

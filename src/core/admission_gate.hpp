@@ -22,6 +22,14 @@
 // (richer) signature at a later failure would suppress retries that could
 // in fact succeed.
 //
+// On top of the some-QPU-richer rule, the gate also records each failed
+// job's computing-qubit requirement and suppresses retries while the
+// cloud's *total* free computing is below it (a placement reserves
+// exactly num_qubits across QPUs, so total-free < requirement cannot
+// succeed). This is what keeps sustained overload affordable: without
+// it, every small-job release wakes every large gated job even though
+// none of them can possibly fit yet.
+//
 // Determinism note: placers whose failure path is reachable only when
 // total free capacity is short — and which fail before consuming any
 // randomness (the annealing and genetic baselines bail out of their
@@ -61,24 +69,35 @@ class AdmissionGate {
   const std::vector<int>& signature() const { return free_; }
 
   /// True when `job` deserves a placement attempt under the snapshot
-  /// state: gating disabled, never failed before, or some QPU now has
-  /// more free computing qubits than at its last failure.
+  /// state: gating disabled, never failed before, or — both — the total
+  /// free computing fits the job's recorded requirement AND some QPU now
+  /// has more free computing qubits than at its last failure.
   bool should_attempt(std::size_t job) const;
 
-  /// Record that `job` failed to place under the snapshot state.
-  void record_failure(std::size_t job);
+  /// Record that `job` (needing `requirement` computing qubits in total)
+  /// failed to place under the snapshot state.
+  void record_failure(std::size_t job, int requirement);
 
   /// Record that `job` was admitted (releases its signature storage).
   void record_admission(std::size_t job);
 
  private:
+  struct FailureRecord {
+    /// Free-computing vector at the job's last failed attempt.
+    std::vector<int> free;
+    /// Total computing qubits the job needs (circuit num_qubits).
+    int requirement = 0;
+  };
+
   bool enabled_;
   /// Free-computing vector at the last refresh().
   std::vector<int> free_;
-  /// Free-computing vector at each currently-failed job's last attempt;
-  /// absent when the job never failed or was admitted. Bounded by the
-  /// number of jobs pending at once, not by the id space.
-  std::unordered_map<std::size_t, std::vector<int>> failed_free_;
+  /// Sum of free_ — the cheap fits-at-all precheck.
+  long long total_free_ = 0;
+  /// Per currently-failed job: state at its last attempt; absent when the
+  /// job never failed or was admitted. Bounded by the number of jobs
+  /// pending at once, not by the id space.
+  std::unordered_map<std::size_t, FailureRecord> failed_free_;
 };
 
 }  // namespace cloudqc

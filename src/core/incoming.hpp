@@ -35,6 +35,9 @@ struct IncomingJobStats {
   int qpus_used = 0;
   /// First-order output-fidelity estimate (see FidelityModel).
   double est_fidelity = 1.0;
+  /// Times the job was displaced (churn) or preempted and re-run from
+  /// scratch; placed_time/remote_ops/qpus_used describe the final run.
+  int restarts = 0;
 };
 
 /// Knobs of run_incoming.
@@ -66,6 +69,16 @@ struct IncomingOptions {
   /// state instead of O(jobs) (the arrival trace itself remains the
   /// caller's O(jobs); run_streaming removes that too).
   bool per_job_stats = true;
+  /// Optional per-job tenant classes, indexed like the trace. Empty keeps
+  /// the classless FIFO queue bit-identical; non-empty must match
+  /// jobs.size(). Arrivals enter the queue before any strictly
+  /// lower-priority entry (stable within a priority level, so uniform
+  /// classes reproduce plain FIFO exactly), and preempt-enabled jobs may
+  /// evict strictly-lower-priority in-flight work when placement fails.
+  std::vector<JobClass> classes;
+  /// Optional maintenance/churn timeline (not owned; see
+  /// cloud/churn.hpp and MultiTenantOptions::churn — same semantics).
+  const ChurnPlan* churn = nullptr;
 };
 
 /// Run an arrival trace to completion. Jobs must be sorted by

@@ -18,6 +18,18 @@
 namespace cloudqc {
 
 class PlacementCache;
+struct ChurnPlan;
+
+/// Tenant-class attributes of one job in a shared-cloud engine run
+/// (batch and incoming modes). Default-constructed = the classless
+/// engine: priority 0, no preemption.
+struct JobClass {
+  /// Higher-priority jobs are attempted first at every admission round.
+  int priority = 0;
+  /// May evict strictly-lower-priority in-flight jobs when placement
+  /// fails (restart semantics: the victim re-runs from scratch).
+  bool preempt = false;
+};
 
 /// Knobs of run_batch.
 struct MultiTenantOptions {
@@ -43,6 +55,20 @@ struct MultiTenantOptions {
   /// owns the cache so it can persist across runs and read stats; it must
   /// only be shared across *serial* runs against the same cloud topology.
   PlacementCache* cache = nullptr;
+  /// Optional per-job tenant classes, indexed like `jobs`. Empty keeps
+  /// the classless engine bit-identical (no priority sort, no
+  /// preemption); non-empty must match jobs.size(). Jobs are admitted in
+  /// priority order (stable within a priority level, so uniform classes
+  /// reproduce the classless order exactly).
+  std::vector<JobClass> classes;
+  /// Optional maintenance/churn timeline (not owned; see
+  /// cloud/churn.hpp). Null — or a plan with no events and zero drift —
+  /// keeps the static-cloud event loop byte-identical. Offline edges
+  /// displace every in-flight job holding qubits on the departing QPU
+  /// (policy kRequeue re-queues at original rank, kMigrate attempts an
+  /// immediate re-placement first) and fence the QPU's computing and
+  /// communication capacity until the matching online edge.
+  const ChurnPlan* churn = nullptr;
 };
 
 /// Per-job outcome of one batch run. Times are simulation time units
@@ -60,6 +86,9 @@ struct TenantJobStats {
   int qpus_used = 0;
   /// First-order output-fidelity estimate (see FidelityModel).
   double est_fidelity = 1.0;
+  /// Times the job was displaced (churn) or preempted and re-run from
+  /// scratch; placed_time/remote_ops/qpus_used describe the final run.
+  int restarts = 0;
 };
 
 /// Throws std::logic_error when `circuit` cannot fit the cloud even when it

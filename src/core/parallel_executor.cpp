@@ -28,6 +28,11 @@ void ParallelExecutor::for_each_index(
   }
 }
 
+void ParallelExecutor::run_indexed(
+    std::size_t n, const std::function<void(std::size_t)>& fn) {
+  for_each_index(n, fn);
+}
+
 std::vector<IndependentJobResult> ParallelExecutor::run_independent(
     const std::vector<Circuit>& jobs, const QuantumCloud& cloud,
     const Placer& placer, const CommAllocator& allocator,

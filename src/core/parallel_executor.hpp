@@ -91,6 +91,14 @@ class ParallelExecutor {
       const Placer& placer, const CommAllocator& allocator,
       std::uint64_t base_seed, int num_runs);
 
+  /// Generic deterministic fan-out: run fn(0) … fn(n-1) across the pool
+  /// (inline in serial mode). `fn` must write only to its own output
+  /// slot and read only const shared state — then the merged outputs are
+  /// bit-identical at any worker count. This is the scenario sweep
+  /// runner's primitive; the typed entry points above remain the
+  /// engine-specific fast paths.
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
+
   /// Race `placers` on one request: strategy k draws from stream
   /// stream_seed(seed, k); the best candidate by better_placement() wins,
   /// with lower strategy index breaking exact ties. nullopt when no

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <limits>
 #include <map>
 #include <memory>
@@ -14,14 +15,18 @@
 
 #include "circuit/qasm.hpp"
 #include "circuit/workloads.hpp"
+#include "cloud/churn.hpp"
 #include "common/check.hpp"
 #include "common/enum_names.hpp"
 #include "common/env.hpp"
+#include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "core/incoming.hpp"
 #include "core/multi_tenant.hpp"
 #include "core/parallel_executor.hpp"
 #include "core/streaming.hpp"
+#include "metrics/quantile_sketch.hpp"
+#include "metrics/stats.hpp"
 #include "placement/placement.hpp"
 #include "placement/placement_cache.hpp"
 #include "schedule/allocators.hpp"
@@ -69,6 +74,10 @@ constexpr EnumName<RouterKind> kRouterNames[] = {
     {RouterKind::kNone, "none"},
     {RouterKind::kShortest, "shortest"},
     {RouterKind::kCongestion, "congestion"},
+};
+constexpr EnumName<ChurnPolicy> kChurnPolicyNames[] = {
+    {ChurnPolicy::kRequeue, "requeue"},
+    {ChurnPolicy::kMigrate, "migrate"},
 };
 
 // -------------------------------------------------------------- parsing
@@ -258,6 +267,143 @@ void apply_engine_key(ScenarioEngine& engine, const std::string& key,
   }
 }
 
+void apply_churn_key(ChurnSpec& churn, const std::string& key,
+                     const std::string& value, int line) {
+  try {
+    if (key == "policy") {
+      churn.policy = parse_enum(kChurnPolicyNames, value, "churn policy");
+    } else if (key == "window") {
+      // One maintenance window per line: qpu:start:end.
+      const std::size_t c1 = value.find(':');
+      const std::size_t c2 =
+          c1 == std::string::npos ? std::string::npos : value.find(':', c1 + 1);
+      if (c1 == std::string::npos || c2 == std::string::npos) {
+        fail(line, "expected window = qpu:start:end, got '" + value + "'");
+      }
+      MaintenanceWindow w;
+      w.qpu = to_int(trim(value.substr(0, c1)), line);
+      w.start = to_double(trim(value.substr(c1 + 1, c2 - c1 - 1)), line);
+      w.end = to_double(trim(value.substr(c2 + 1)), line);
+      churn.windows.push_back(w);
+    } else if (key == "random_windows") {
+      churn.random_windows = to_int(value, line);
+    } else if (key == "horizon") {
+      churn.horizon = to_double(value, line);
+    } else if (key == "mean_duration") {
+      churn.mean_duration = to_double(value, line);
+    } else if (key == "seed") {
+      churn.seed = to_u64(value, line);
+    } else if (key == "drift_amplitude") {
+      churn.drift_amplitude = to_double(value, line);
+    } else if (key == "drift_period") {
+      churn.drift_period = to_double(value, line);
+    } else {
+      fail(line, "unknown [churn] key '" + key + "'");
+    }
+  } catch (const std::invalid_argument& e) {
+    fail(line, e.what());
+  }
+}
+
+void apply_tenant_key(TenantSpec& tenant, const std::string& key,
+                      const std::string& value, int line) {
+  if (key == "priority") {
+    tenant.priority = to_int(value, line);
+  } else if (key == "weight") {
+    tenant.weight = to_double(value, line);
+  } else if (key == "slo_jct") {
+    tenant.slo_jct = to_double(value, line);
+  } else if (key == "preempt") {
+    tenant.preempt = to_bool(value, line);
+  } else {
+    fail(line, "unknown [tenant." + tenant.name + "] key '" + key + "'");
+  }
+}
+
+/// "lo..hi" or "lo..hi..step" (integers, inclusive): appends the expanded
+/// values and returns true; returns false when `value` has no "..".
+bool try_expand_range(const std::string& value, std::vector<std::string>& out,
+                      int line) {
+  const std::size_t d1 = value.find("..");
+  if (d1 == std::string::npos) return false;
+  const std::size_t d2 = value.find("..", d1 + 2);
+  const std::string hi_s = d2 == std::string::npos
+                               ? trim(value.substr(d1 + 2))
+                               : trim(value.substr(d1 + 2, d2 - d1 - 2));
+  const int lo = to_int(trim(value.substr(0, d1)), line);
+  const int hi = to_int(hi_s, line);
+  const int step =
+      d2 == std::string::npos ? 1 : to_int(trim(value.substr(d2 + 2)), line);
+  if (step < 1) fail(line, "sweep range step must be >= 1");
+  if (hi < lo) fail(line, "sweep range needs lo <= hi, got '" + value + "'");
+  for (long long v = lo; v <= hi; v += step) out.push_back(std::to_string(v));
+  return true;
+}
+
+void apply_sweep_key(std::vector<SweepAxis>& sweep, const std::string& key,
+                     const std::string& value, int line) {
+  for (const SweepAxis& axis : sweep) {
+    if (axis.key == key) fail(line, "duplicate [sweep] axis '" + key + "'");
+  }
+  const std::size_t dot = key.find('.');
+  if (dot == std::string::npos) {
+    fail(line, "sweep axis must be 'section.key', got '" + key + "'");
+  }
+  const std::string section = key.substr(0, dot);
+  if (section != "cloud" && section != "workload" && section != "engine" &&
+      section != "churn") {
+    fail(line, "sweep axis section must be cloud, workload, engine or churn");
+  }
+  if (key == "workload.circuits" || key == "workload.qasm_files") {
+    // These keys append; sweeping them would not assign one value per point.
+    fail(line, "cannot sweep list-valued key '" + key + "'");
+  }
+  SweepAxis axis;
+  axis.key = key;
+  axis.values = to_list(value);
+  if (axis.values.size() == 1) {
+    std::vector<std::string> expanded;
+    if (try_expand_range(axis.values.front(), expanded, line)) {
+      axis.values = std::move(expanded);
+    }
+  }
+  if (axis.values.empty()) {
+    fail(line, "sweep axis '" + key + "' has no values");
+  }
+  sweep.push_back(std::move(axis));
+}
+
+/// Assign one sweep value onto a spec copy. Axis keys are qualified
+/// "section.key" names resolved through the same appliers the parser uses,
+/// so exactly the INI-settable scalar keys are sweepable.
+void apply_sweep_assignment(ScenarioSpec& spec, const std::string& key,
+                            const std::string& value) {
+  const std::size_t dot = key.find('.');
+  if (dot == std::string::npos) {
+    throw ScenarioError("sweep axis must be 'section.key', got '" + key +
+                        "'");
+  }
+  const std::string section = key.substr(0, dot);
+  const std::string field = key.substr(dot + 1);
+  try {
+    if (section == "cloud") {
+      apply_cloud_key(spec.cloud, field, value, 0);
+    } else if (section == "workload") {
+      apply_workload_key(spec.workload, field, value, 0);
+    } else if (section == "engine") {
+      apply_engine_key(spec.engine, field, value, 0);
+    } else if (section == "churn") {
+      apply_churn_key(spec.churn, field, value, 0);
+    } else {
+      throw ScenarioError(
+          "sweep axis section must be cloud, workload, engine or churn");
+    }
+  } catch (const ScenarioError& e) {
+    throw ScenarioError("sweep axis '" + key + "' = '" + value +
+                        "': " + e.what());
+  }
+}
+
 /// Spec-level consistency checks shared by parse_scenario (fail early with
 /// a good message) and run_scenario (programmatically built specs).
 void validate(const ScenarioSpec& spec) {
@@ -309,6 +455,102 @@ void validate(const ScenarioSpec& spec) {
   }
   if (spec.engine.intake_shards < 1) {
     throw ScenarioError("scenario '" + spec.name + "': intake_shards < 1");
+  }
+
+  // Dynamic-cloud and tenant features run through the serial queue engines
+  // only: they are the ones with a pending queue to displace jobs into.
+  const bool queue_engine = spec.engine.mode == EngineMode::kMultiTenant ||
+                            spec.engine.mode == EngineMode::kIncoming;
+  const ChurnSpec& churn = spec.churn;
+  if (churn.random_windows < 0) {
+    throw ScenarioError("scenario '" + spec.name + "': random_windows < 0");
+  }
+  if (churn.drift_amplitude < 0.0 || churn.drift_amplitude >= 1.0) {
+    throw ScenarioError("scenario '" + spec.name +
+                        "': drift_amplitude must be in [0, 1)");
+  }
+  if (churn.enabled()) {
+    if (!queue_engine) {
+      throw ScenarioError("scenario '" + spec.name +
+                          "': [churn] requires mode = multi_tenant or "
+                          "incoming");
+    }
+    if (churn.random_windows > 0 &&
+        (churn.horizon <= 0.0 || churn.mean_duration <= 0.0)) {
+      throw ScenarioError("scenario '" + spec.name +
+                          "': random windows need horizon > 0 and "
+                          "mean_duration > 0");
+    }
+    if (churn.drift_amplitude > 0.0 && churn.drift_period <= 0.0) {
+      throw ScenarioError("scenario '" + spec.name + "': drift_period <= 0");
+    }
+    for (const MaintenanceWindow& w : churn.windows) {
+      if (w.qpu < 0 || w.start < 0.0 || w.end <= w.start) {
+        throw ScenarioError("scenario '" + spec.name +
+                            "': maintenance window needs qpu >= 0, "
+                            "start >= 0 and end > start");
+      }
+    }
+  }
+  if (!spec.tenants.empty() && !queue_engine) {
+    throw ScenarioError("scenario '" + spec.name +
+                        "': [tenant.*] requires mode = multi_tenant or "
+                        "incoming");
+  }
+  for (std::size_t i = 0; i < spec.tenants.size(); ++i) {
+    const TenantSpec& t = spec.tenants[i];
+    if (t.name.empty()) {
+      throw ScenarioError("scenario '" + spec.name + "': empty tenant name");
+    }
+    for (char ch : t.name) {
+      if (!std::isalnum(static_cast<unsigned char>(ch)) && ch != '_' &&
+          ch != '-') {
+        throw ScenarioError("scenario '" + spec.name + "': tenant name '" +
+                            t.name + "' must be [A-Za-z0-9_-]+");
+      }
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (spec.tenants[j].name == t.name) {
+        throw ScenarioError("scenario '" + spec.name +
+                            "': duplicate tenant '" + t.name + "'");
+      }
+    }
+    if (t.weight <= 0.0) {
+      throw ScenarioError("scenario '" + spec.name + "': tenant '" + t.name +
+                          "' needs weight > 0");
+    }
+    if (t.slo_jct < 0.0) {
+      throw ScenarioError("scenario '" + spec.name + "': tenant '" + t.name +
+                          "' needs slo_jct >= 0");
+    }
+  }
+  if (!spec.sweep.empty()) {
+    std::size_t grid = 1;
+    for (std::size_t i = 0; i < spec.sweep.size(); ++i) {
+      const SweepAxis& axis = spec.sweep[i];
+      if (axis.values.empty()) {
+        throw ScenarioError("scenario '" + spec.name + "': sweep axis '" +
+                            axis.key + "' has no values");
+      }
+      for (std::size_t j = 0; j < i; ++j) {
+        if (spec.sweep[j].key == axis.key) {
+          throw ScenarioError("scenario '" + spec.name +
+                              "': duplicate sweep axis '" + axis.key + "'");
+        }
+      }
+      grid *= axis.values.size();
+      if (grid > 1024) {
+        throw ScenarioError("scenario '" + spec.name +
+                            "': sweep grid exceeds 1024 points");
+      }
+      // Test-apply every value now so a bad axis fails at parse time, not
+      // halfway through a sweep run.
+      for (const std::string& value : axis.values) {
+        ScenarioSpec probe = spec;
+        probe.sweep.clear();
+        apply_sweep_assignment(probe, axis.key, value);
+      }
+    }
   }
 }
 
@@ -468,6 +710,88 @@ std::vector<Circuit> strip_arrivals(std::vector<ArrivingJob> trace) {
   return jobs;
 }
 
+/// Dedicated RNG stream for tenant assignment; must only differ from the
+/// per-task stream indices the executors use.
+constexpr std::uint64_t kTenantAssignStream = 0x74656e616e74ULL;  // "tenant"
+
+/// Weighted tenant draw per job, from a stream derived from trace_seed (the
+/// assignment is part of the workload, not the engine). A single tenant
+/// draws nothing, so a 1-tenant spec stays byte-identical to a tenantless
+/// one everywhere downstream.
+std::vector<int> assign_tenants(const std::vector<TenantSpec>& tenants,
+                                std::size_t num_jobs,
+                                std::uint64_t trace_seed) {
+  std::vector<int> assignment(num_jobs, 0);
+  if (tenants.size() <= 1) return assignment;
+  double total = 0.0;
+  for (const TenantSpec& t : tenants) total += t.weight;
+  Rng rng(stream_seed(trace_seed, kTenantAssignStream));
+  for (std::size_t i = 0; i < num_jobs; ++i) {
+    const double draw = rng.uniform() * total;
+    double cum = 0.0;
+    int pick = static_cast<int>(tenants.size()) - 1;
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+      cum += tenants[t].weight;
+      if (draw < cum) {
+        pick = static_cast<int>(t);
+        break;
+      }
+    }
+    assignment[i] = pick;
+  }
+  return assignment;
+}
+
+std::vector<JobClass> classes_for(const std::vector<TenantSpec>& tenants,
+                                  const std::vector<int>& assignment) {
+  std::vector<JobClass> classes(assignment.size());
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    const TenantSpec& t = tenants[static_cast<std::size_t>(assignment[i])];
+    classes[i] = JobClass{t.priority, t.preempt};
+  }
+  return classes;
+}
+
+/// Fold per-job outcomes into the per-tenant aggregates + Jain's index.
+void finalize_tenant_metrics(const std::vector<TenantSpec>& tenants,
+                             ScenarioResult& result) {
+  if (tenants.empty()) return;
+  result.tenants.resize(tenants.size());
+  std::vector<QuantileSketch> sketches(tenants.size());
+  std::vector<double> jct_sums(tenants.size(), 0.0);
+  std::vector<std::size_t> within_slo(tenants.size(), 0);
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    result.tenants[t].name = tenants[t].name;
+    result.tenants[t].slo_target = tenants[t].slo_jct;
+  }
+  for (const ScenarioJobResult& job : result.jobs) {
+    if (job.tenant < 0) continue;
+    const auto t = static_cast<std::size_t>(job.tenant);
+    ++result.tenants[t].jobs;
+    if (!job.placed) continue;
+    ++result.tenants[t].completed;
+    const double jct = job.completion_time - job.arrival;
+    sketches[t].add(jct);
+    jct_sums[t] += jct;
+    if (jct <= tenants[t].slo_jct) ++within_slo[t];
+  }
+  std::vector<double> mean_jcts;
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    ScenarioTenantResult& tr = result.tenants[t];
+    if (tr.completed == 0) continue;  // mean/quantiles stay 0, SLO stays 1
+    tr.mean_jct = jct_sums[t] / static_cast<double>(tr.completed);
+    tr.jct_p50 = sketches[t].quantile(0.50);
+    tr.jct_p95 = sketches[t].quantile(0.95);
+    tr.jct_p99 = sketches[t].quantile(0.99);
+    if (tr.slo_target > 0.0) {
+      tr.slo_attainment = static_cast<double>(within_slo[t]) /
+                          static_cast<double>(tr.completed);
+    }
+    mean_jcts.push_back(tr.mean_jct);
+  }
+  result.jain_fairness = jains_index(mean_jcts);
+}
+
 void finalize_metrics(ScenarioResult& result) {
   double jct_sum = 0.0, fid_sum = 0.0;
   std::size_t placed = 0;
@@ -545,8 +869,27 @@ ScenarioSpec parse_scenario(std::string_view text, const std::string& name) {
     if (content.front() == '[') {
       if (content.back() != ']') fail(line_no, "unterminated section header");
       section = trim(content.substr(1, content.size() - 2));
-      if (section != "cloud" && section != "workload" &&
-          section != "engine") {
+      if (section.rfind("tenant.", 0) == 0) {
+        const std::string tenant_name = section.substr(7);
+        if (tenant_name.empty()) fail(line_no, "empty tenant name");
+        for (char ch : tenant_name) {
+          if (!std::isalnum(static_cast<unsigned char>(ch)) && ch != '_' &&
+              ch != '-') {
+            fail(line_no, "tenant name must be [A-Za-z0-9_-]+, got '" +
+                              tenant_name + "'");
+          }
+        }
+        for (const TenantSpec& t : spec.tenants) {
+          if (t.name == tenant_name) {
+            fail(line_no, "duplicate tenant '" + tenant_name + "'");
+          }
+        }
+        TenantSpec tenant;
+        tenant.name = tenant_name;
+        spec.tenants.push_back(std::move(tenant));
+      } else if (section != "cloud" && section != "workload" &&
+                 section != "engine" && section != "churn" &&
+                 section != "sweep") {
         fail(line_no, "unknown section [" + section + "]");
       }
       continue;
@@ -565,8 +908,15 @@ ScenarioSpec parse_scenario(std::string_view text, const std::string& name) {
       apply_cloud_key(spec.cloud, key, value, line_no);
     } else if (section == "workload") {
       apply_workload_key(spec.workload, key, value, line_no);
-    } else {
+    } else if (section == "engine") {
       apply_engine_key(spec.engine, key, value, line_no);
+    } else if (section == "churn") {
+      apply_churn_key(spec.churn, key, value, line_no);
+    } else if (section == "sweep") {
+      apply_sweep_key(spec.sweep, key, value, line_no);
+    } else {
+      // [tenant.NAME]: the header pushed the TenantSpec this key fills.
+      apply_tenant_key(spec.tenants.back(), key, value, line_no);
     }
   }
   validate(spec);
@@ -648,6 +998,39 @@ std::string to_ini(const ScenarioSpec& spec) {
   out << "backpressure = " << enum_name(kBackpressureNames, e.backpressure)
       << "\n";
   out << "intake_shards = " << e.intake_shards << "\n";
+
+  // [churn] is emitted only when it changes anything: a disabled spec
+  // parses back to the identical default, keeping the round trip stable.
+  if (spec.churn.enabled()) {
+    const ChurnSpec& ch = spec.churn;
+    out << "\n[churn]\n";
+    out << "policy = " << enum_name(kChurnPolicyNames, ch.policy) << "\n";
+    for (const MaintenanceWindow& w : ch.windows) {
+      out << "window = " << w.qpu << ":" << fmt_double(w.start) << ":"
+          << fmt_double(w.end) << "\n";
+    }
+    out << "random_windows = " << ch.random_windows << "\n";
+    out << "horizon = " << fmt_double(ch.horizon) << "\n";
+    out << "mean_duration = " << fmt_double(ch.mean_duration) << "\n";
+    out << "seed = " << ch.seed << "\n";
+    out << "drift_amplitude = " << fmt_double(ch.drift_amplitude) << "\n";
+    out << "drift_period = " << fmt_double(ch.drift_period) << "\n";
+  }
+  for (const TenantSpec& t : spec.tenants) {
+    out << "\n[tenant." << t.name << "]\n";
+    out << "priority = " << t.priority << "\n";
+    out << "weight = " << fmt_double(t.weight) << "\n";
+    out << "slo_jct = " << fmt_double(t.slo_jct) << "\n";
+    out << "preempt = " << (t.preempt ? "true" : "false") << "\n";
+  }
+  if (!spec.sweep.empty()) {
+    out << "\n[sweep]\n";
+    for (const SweepAxis& axis : spec.sweep) {
+      // Ranges were expanded at parse time, so values re-emit as the
+      // explicit list (round-trip-stable by construction).
+      out << axis.key << " = " << join(axis.values) << "\n";
+    }
+  }
   return out.str();
 }
 
@@ -662,6 +1045,18 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   QuantumCloud cloud = build_cloud(spec.cloud);
   const std::unique_ptr<CommAllocator> allocator =
       make_allocator(spec.engine.allocator);
+
+  // Expand [churn] against the built cloud (only now is the QPU count
+  // known for grid/tree topologies); plan errors become spec errors.
+  ChurnPlan churn_plan;
+  const bool churn_on = spec.churn.enabled();
+  if (churn_on) {
+    try {
+      churn_plan = build_churn_plan(spec.churn, cloud.num_qpus());
+    } catch (const std::invalid_argument& e) {
+      throw ScenarioError("scenario '" + spec.name + "': " + e.what());
+    }
+  }
 
   // The batch engine fans out across its executor's pool; the other
   // engines are serial loops that only use workers for a racing placer.
@@ -718,6 +1113,13 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
       options.gated_admission = spec.engine.gated_admission;
       options.gated_allocation = spec.engine.gated_allocation;
       options.cache = cache.get();
+      options.churn = churn_on ? &churn_plan : nullptr;
+      std::vector<int> tenant_of;
+      if (!spec.tenants.empty()) {
+        tenant_of = assign_tenants(spec.tenants, jobs.size(),
+                                   spec.workload.trace_seed);
+        options.classes = classes_for(spec.tenants, tenant_of);
+      }
       const auto stats =
           run_batch(jobs, cloud, counting, *allocator, options);
       result.jobs.resize(stats.size());
@@ -729,6 +1131,8 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
         job.remote_ops = stats[i].remote_ops;
         job.qpus_used = stats[i].qpus_used;
         job.est_fidelity = stats[i].est_fidelity;
+        job.restarts = stats[i].restarts;
+        if (!tenant_of.empty()) job.tenant = tenant_of[i];
       }
       break;
     }
@@ -739,6 +1143,13 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
       options.gated_admission = spec.engine.gated_admission;
       options.gated_allocation = spec.engine.gated_allocation;
       options.cache = cache.get();
+      options.churn = churn_on ? &churn_plan : nullptr;
+      std::vector<int> tenant_of;
+      if (!spec.tenants.empty()) {
+        tenant_of = assign_tenants(spec.tenants, trace.size(),
+                                   spec.workload.trace_seed);
+        options.classes = classes_for(spec.tenants, tenant_of);
+      }
       const auto stats =
           run_incoming(trace, cloud, counting, *allocator, options);
       result.jobs.resize(stats.size());
@@ -751,6 +1162,8 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
         job.remote_ops = stats[i].remote_ops;
         job.qpus_used = stats[i].qpus_used;
         job.est_fidelity = stats[i].est_fidelity;
+        job.restarts = stats[i].restarts;
+        if (!tenant_of.empty()) job.tenant = tenant_of[i];
       }
       break;
     }
@@ -804,6 +1217,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     result.cache_misses = cache_stats.misses;
   }
   finalize_metrics(result);
+  finalize_tenant_metrics(spec.tenants, result);
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -856,6 +1270,15 @@ std::string write_bench_json(const ScenarioResult& result, std::string dir) {
     os << ",\n  \"fidelity_p95\": " << num(result.fidelity_p95);
     os << ",\n  \"fidelity_p99\": " << num(result.fidelity_p99);
   }
+  if (!result.tenants.empty()) {
+    os << ",\n  \"jain_fairness\": " << num(result.jain_fairness);
+    for (const ScenarioTenantResult& t : result.tenants) {
+      os << ",\n  \"tenant_" << t.name << "_jobs\": " << t.jobs;
+      os << ",\n  \"tenant_" << t.name << "_mean_jct\": " << num(t.mean_jct);
+      os << ",\n  \"tenant_" << t.name
+         << "_slo_attainment\": " << num(t.slo_attainment);
+    }
+  }
   os << ",\n  \"wall_seconds\": " << num(result.wall_seconds);
   os << "\n}\n";
   return os ? path : "";
@@ -905,6 +1328,24 @@ std::string write_golden_json(const ScenarioResult& result,
     os << "  \"fidelity_p95\": " << num(result.fidelity_p95) << ",\n";
     os << "  \"fidelity_p99\": " << num(result.fidelity_p99) << ",\n";
   }
+  // Tenant block and per-job tenant/restart fields appear only on tenant
+  // runs, so goldens predating tenant classes stay byte-identical.
+  if (!result.tenants.empty()) {
+    os << "  \"jain_fairness\": " << num(result.jain_fairness) << ",\n";
+    os << "  \"tenants\": [";
+    for (std::size_t i = 0; i < result.tenants.size(); ++i) {
+      const ScenarioTenantResult& t = result.tenants[i];
+      os << (i > 0 ? "," : "") << "\n    {\"name\": \"" << t.name << "\""
+         << ", \"jobs\": " << t.jobs << ", \"completed\": " << t.completed
+         << ", \"slo_target\": " << num(t.slo_target)
+         << ", \"slo_attainment\": " << num(t.slo_attainment)
+         << ", \"mean_jct\": " << num(t.mean_jct)
+         << ", \"jct_p50\": " << num(t.jct_p50)
+         << ", \"jct_p95\": " << num(t.jct_p95)
+         << ", \"jct_p99\": " << num(t.jct_p99) << "}";
+    }
+    os << "\n  ],\n";
+  }
   os << "  \"jobs\": [";
   for (std::size_t i = 0; i < result.jobs.size(); ++i) {
     const ScenarioJobResult& job = result.jobs[i];
@@ -916,7 +1357,143 @@ std::string write_golden_json(const ScenarioResult& result,
        << ", \"remote_ops\": " << job.remote_ops
        << ", \"comm_cost\": " << num(job.comm_cost)
        << ", \"qpus_used\": " << job.qpus_used
-       << ", \"est_fidelity\": " << num(job.est_fidelity) << "}";
+       << ", \"est_fidelity\": " << num(job.est_fidelity);
+    if (!result.tenants.empty()) {
+      os << ", \"tenant\": " << job.tenant
+         << ", \"restarts\": " << job.restarts;
+    }
+    os << "}";
+  }
+  os << "\n  ]\n}\n";
+  return os ? path : "";
+}
+
+std::vector<SweepPointSpec> expand_sweep(const ScenarioSpec& spec) {
+  validate(spec);
+  ScenarioSpec base = spec;
+  base.sweep.clear();
+  std::vector<SweepPointSpec> points;
+  if (spec.sweep.empty()) {
+    points.push_back(SweepPointSpec{std::move(base), {}});
+    return points;
+  }
+  std::size_t total = 1;
+  for (const SweepAxis& axis : spec.sweep) total *= axis.values.size();
+  points.reserve(total);
+  for (std::size_t p = 0; p < total; ++p) {
+    SweepPointSpec point;
+    point.spec = base;
+    // Row-major: the first axis varies slowest.
+    std::size_t stride = total;
+    for (const SweepAxis& axis : spec.sweep) {
+      stride /= axis.values.size();
+      const std::string& value = axis.values[(p / stride) % axis.values.size()];
+      apply_sweep_assignment(point.spec, axis.key, value);
+      point.assignment.emplace_back(axis.key, value);
+    }
+    validate(point.spec);
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+SweepResult run_sweep(const ScenarioSpec& spec) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<SweepPointSpec> points = expand_sweep(spec);
+  SweepResult result;
+  result.name = spec.name;
+  result.points.resize(points.size());
+  // Every point is an independent run_scenario() on a private spec, writing
+  // only its own slot: bit-identical merged results at any worker count.
+  ParallelExecutor executor(spec.engine.workers);
+  executor.run_indexed(points.size(), [&](std::size_t i) {
+    result.points[i].assignment = std::move(points[i].assignment);
+    result.points[i].result = run_scenario(points[i].spec);
+  });
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+namespace {
+
+/// Shared row format of the two sweep writers: axis assignment + headline
+/// deterministic aggregates of one grid point.
+void write_sweep_row(std::ofstream& os, const SweepPoint& point,
+                     const std::function<std::string(double)>& num) {
+  const ScenarioResult& r = point.result;
+  std::size_t placed = 0;
+  for (const auto& job : r.jobs) placed += job.placed ? 1 : 0;
+  os << "{\"assignment\": {";
+  for (std::size_t j = 0; j < point.assignment.size(); ++j) {
+    os << (j > 0 ? ", " : "") << "\"" << point.assignment[j].first
+       << "\": \"" << point.assignment[j].second << "\"";
+  }
+  os << "}, \"engine\": \"" << r.engine << "\""
+     << ", \"num_jobs\": " << r.jobs.size() << ", \"placed_jobs\": " << placed
+     << ", \"makespan\": " << num(r.makespan)
+     << ", \"mean_jct\": " << num(r.mean_jct)
+     << ", \"mean_fidelity\": " << num(r.mean_fidelity)
+     << ", \"placement_calls\": " << r.placement_calls
+     << ", \"cache_exact_hits\": " << r.cache_exact_hits
+     << ", \"cache_warm_hits\": " << r.cache_warm_hits
+     << ", \"cache_misses\": " << r.cache_misses;
+  if (!r.tenants.empty()) {
+    os << ", \"jain_fairness\": " << num(r.jain_fairness);
+  }
+  os << "}";
+}
+
+}  // namespace
+
+std::string write_sweep_json(const SweepResult& result, std::string dir) {
+  if (dir.empty()) dir = env_or("CLOUDQC_BENCH_JSON_DIR", ".");
+  std::string safe = result.name;
+  for (char& ch : safe) {
+    if (!std::isalnum(static_cast<unsigned char>(ch)) && ch != '_' &&
+        ch != '-') {
+      ch = '_';
+    }
+  }
+  const std::string path = dir + "/BENCH_sweep_" + safe + ".json";
+  std::ofstream os(path);
+  if (!os) return "";
+  char buf[64];
+  auto num = [&buf](double v) {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return std::string(buf);
+  };
+  os << "{\n  \"bench\": \"sweep_" << safe << "\"";
+  os << ",\n  \"points\": " << result.points.size();
+  os << ",\n  \"rows\": [";
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    os << (i > 0 ? "," : "") << "\n    ";
+    write_sweep_row(os, result.points[i], num);
+  }
+  os << "\n  ]";
+  os << ",\n  \"wall_seconds\": " << num(result.wall_seconds);
+  os << "\n}\n";
+  return os ? path : "";
+}
+
+std::string write_sweep_golden_json(const SweepResult& result,
+                                    const std::string& dir) {
+  const std::string path = dir + "/" + result.name + ".golden.json";
+  std::ofstream os(path);
+  if (!os) return "";
+  char buf[64];
+  auto num = [&buf](double v) {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return std::string(buf);
+  };
+  os << "{\n";
+  os << "  \"sweep\": \"" << result.name << "\",\n";
+  os << "  \"num_points\": " << result.points.size() << ",\n";
+  os << "  \"points\": [";
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    os << (i > 0 ? "," : "") << "\n    ";
+    write_sweep_row(os, result.points[i], num);
   }
   os << "\n  ]\n}\n";
   return os ? path : "";

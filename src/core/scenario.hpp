@@ -20,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cloud/churn.hpp"
 #include "cloud/topologies.hpp"
 #include "core/streaming.hpp"
 
@@ -116,6 +117,35 @@ struct ScenarioEngine {
   int intake_shards = 8;
 };
 
+/// Tenant class ([tenant.NAME] section). Tenants partition the workload:
+/// each job is assigned a tenant by weighted draw from a dedicated RNG
+/// stream (a single tenant draws nothing, keeping 1-tenant specs
+/// byte-identical to tenantless ones), and the per-tenant JCT sketches /
+/// SLO attainment / Jain's index land in ScenarioResult.
+struct TenantSpec {
+  /// Section suffix; [A-Za-z0-9_-]+ so to_ini round-trips.
+  std::string name;
+  /// Higher priority admits first; strictly lower priorities are
+  /// preemptible by `preempt` tenants. Multi-tenant/incoming modes only.
+  int priority = 0;
+  /// JCT deadline for SLO attainment (fraction of the tenant's completed
+  /// jobs with JCT <= slo_jct). 0 = no SLO (attainment reported as 1).
+  double slo_jct = 0.0;
+  /// Job-assignment weight (relative share of the workload). Must be > 0.
+  double weight = 1.0;
+  /// May evict strictly-lower-priority in-flight jobs when placement
+  /// fails (restart semantics).
+  bool preempt = false;
+};
+
+/// One [sweep] axis: a qualified "section.key" and the expanded value
+/// list (comma lists are split, integer lo..hi[..step] ranges expanded at
+/// parse time, so to_ini round-trips to the explicit list).
+struct SweepAxis {
+  std::string key;
+  std::vector<std::string> values;
+};
+
 /// A full declarative scenario. Parse one from text with parse_scenario()
 /// or a file with load_scenario_file(); serialise with to_ini().
 struct ScenarioSpec {
@@ -123,6 +153,14 @@ struct ScenarioSpec {
   CloudSpec cloud;
   ScenarioWorkload workload;
   ScenarioEngine engine;
+  /// [churn] section: QPU maintenance windows + calibration drift.
+  /// Multi-tenant/incoming modes only; default = disabled (static cloud).
+  ChurnSpec churn;
+  /// [tenant.NAME] sections in file order; empty = tenantless.
+  std::vector<TenantSpec> tenants;
+  /// [sweep] axes in file order; run_scenario() ignores them (it executes
+  /// the base point), run_sweep() expands the cross product.
+  std::vector<SweepAxis> sweep;
 };
 
 /// Parse INI-style scenario text ([cloud] / [workload] / [engine]
@@ -159,6 +197,27 @@ struct ScenarioJobResult {
   double comm_cost = 0.0;
   int qpus_used = 0;
   double est_fidelity = 1.0;
+  /// Index into ScenarioResult::tenants; -1 on tenantless runs.
+  int tenant = -1;
+  /// Times the job was displaced by churn or preempted and re-run.
+  int restarts = 0;
+};
+
+/// Per-tenant aggregates of one scenario run (multi-tenant/incoming
+/// modes with [tenant.*] sections). Quantiles come from a deterministic
+/// QuantileSketch over the tenant's JCTs (metrics/quantile_sketch.hpp).
+struct ScenarioTenantResult {
+  std::string name;
+  std::size_t jobs = 0;       ///< jobs assigned to the tenant
+  std::size_t completed = 0;  ///< placed and completed
+  double slo_target = 0.0;    ///< the spec's slo_jct (0 = none)
+  /// Fraction of completed jobs with JCT <= slo_target; 1.0 when the
+  /// tenant has no SLO or no completions.
+  double slo_attainment = 1.0;
+  double mean_jct = 0.0;  ///< exact mean (0 when no completions)
+  double jct_p50 = 0.0;   ///< sketch quantiles (0 when no completions)
+  double jct_p95 = 0.0;
+  double jct_p99 = 0.0;
 };
 
 /// Structured outcome of one scenario run.
@@ -200,6 +259,12 @@ struct ScenarioResult {
   double fidelity_p50 = 0.0;
   double fidelity_p95 = 0.0;
   double fidelity_p99 = 0.0;
+  /// Per-tenant aggregates, in [tenant.*] declaration order; empty on
+  /// tenantless runs.
+  std::vector<ScenarioTenantResult> tenants;
+  /// Jain's fairness index over the per-tenant mean JCTs (tenants with at
+  /// least one completion); 0 on tenantless runs.
+  double jain_fairness = 0.0;
   /// Host wall-clock of the run — the only non-deterministic field.
   double wall_seconds = 0.0;
 };
@@ -226,5 +291,53 @@ std::string write_bench_json(const ScenarioResult& result,
 /// on I/O failure.
 std::string write_golden_json(const ScenarioResult& result,
                               const std::string& dir);
+
+/// One expanded sweep point: the base spec with the axis values applied
+/// (and `sweep` cleared), plus the (key, value) assignment that produced
+/// it.
+struct SweepPointSpec {
+  ScenarioSpec spec;
+  std::vector<std::pair<std::string, std::string>> assignment;
+};
+
+/// Expand the [sweep] cross product in row-major order (first axis
+/// slowest). A spec without [sweep] expands to the single base point with
+/// an empty assignment. Throws ScenarioError when an axis value does not
+/// apply cleanly.
+std::vector<SweepPointSpec> expand_sweep(const ScenarioSpec& spec);
+
+/// Outcome of run_sweep: one ScenarioResult per grid point, in expansion
+/// order.
+struct SweepPoint {
+  std::vector<std::pair<std::string, std::string>> assignment;
+  ScenarioResult result;
+};
+struct SweepResult {
+  std::string name;
+  std::vector<SweepPoint> points;
+  /// Host wall-clock of the whole sweep — the only non-deterministic
+  /// field.
+  double wall_seconds = 0.0;
+};
+
+/// Execute every point of the sweep grid through ParallelExecutor with
+/// spec.engine.workers threads. Each point is an independent
+/// run_scenario() on a private spec copy, so the merged results are
+/// bit-identical at any worker count; a sweep of size 1 equals the plain
+/// run_scenario() result exactly.
+SweepResult run_sweep(const ScenarioSpec& spec);
+
+/// Write the sweep as BENCH_sweep_<name>.json: one row per grid point
+/// with its axis assignment and headline aggregates. `dir` empty =
+/// $CLOUDQC_BENCH_JSON_DIR, falling back to the working directory.
+/// Returns the path written, or "" on I/O failure.
+std::string write_sweep_json(const SweepResult& result, std::string dir = "");
+
+/// Write the sweep as <name>.golden.json in `dir`: per-point assignments
+/// and deterministic aggregates only (no per-job tables, no wall clock).
+/// Byte-stable for a fixed spec, diffed by the scenario-golden CI job.
+/// Returns the path written, or "" on I/O failure.
+std::string write_sweep_golden_json(const SweepResult& result,
+                                    const std::string& dir);
 
 }  // namespace cloudqc

@@ -237,7 +237,7 @@ StreamingMetrics run_streaming(JobSource& source, QuantumCloud& cloud,
                                             cloud, placer, rng,
                                             &gate.signature());
         if (!placement.has_value()) {
-          gate.record_failure(it->id);
+          gate.record_failure(it->id, it->circuit.num_qubits());
           ++it;
           continue;
         }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "common/check.hpp"
 
@@ -71,6 +72,21 @@ double fraction_below(const std::vector<double>& xs, double threshold) {
     if (x <= threshold) ++count;
   }
   return static_cast<double>(count) / static_cast<double>(xs.size());
+}
+
+double jains_index(const std::vector<double>& xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : xs) {
+    if (x < 0.0) {
+      throw std::logic_error("jains_index requires non-negative inputs");
+    }
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
 }
 
 void StatAccumulator::add(double x) {

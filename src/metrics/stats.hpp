@@ -30,6 +30,12 @@ std::vector<std::pair<double, double>> empirical_cdf(std::vector<double> xs,
 /// Fraction of samples ≤ threshold.
 double fraction_below(const std::vector<double>& xs, double threshold);
 
+/// Jain's fairness index over non-negative allocations:
+/// (Σx)² / (n · Σx²), in (0, 1] with 1 = perfectly equal. Returns 1.0
+/// for an empty or all-zero vector (nothing is unfair about nothing);
+/// throws std::logic_error on negative inputs.
+double jains_index(const std::vector<double>& xs);
+
 /// Thread-safe sample accumulator: parallel workers add() concurrently and
 /// the driver reads aggregates afterwards.
 ///

@@ -43,6 +43,24 @@ class EventQueue {
     return {e.time, std::move(e.payload)};
   }
 
+  /// Remove every event whose payload satisfies `pred` (called once per
+  /// entry, in storage order). Survivors keep their (time, seq) keys, so
+  /// their relative pop order is unchanged after the heap is rebuilt.
+  /// Returns the number of events removed. O(n).
+  template <typename Pred>
+  std::size_t remove_if(Pred pred) {
+    const auto keep_end =
+        std::remove_if(heap_.begin(), heap_.end(),
+                       [&](const Entry& e) { return pred(e.payload); });
+    const std::size_t removed =
+        static_cast<std::size_t>(heap_.end() - keep_end);
+    if (removed > 0) {
+      heap_.erase(keep_end, heap_.end());
+      std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    }
+    return removed;
+  }
+
  private:
   struct Entry {
     SimTime time;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cloud/churn.hpp"
 #include "common/check.hpp"
 
 namespace cloudqc {
@@ -19,6 +20,8 @@ NetworkSimulator::NetworkSimulator(const QuantumCloud& cloud,
   for (QpuId q = 0; q < cloud.num_qpus(); ++q) {
     free_comm_[static_cast<std::size_t>(q)] = cloud.qpu(q).comm_capacity();
   }
+  impounded_.assign(free_comm_.size(), 0);
+  offline_.assign(free_comm_.size(), 0);
 }
 
 int NetworkSimulator::add_job(const Circuit& circuit,
@@ -67,6 +70,88 @@ int NetworkSimulator::add_job(const Circuit& circuit,
     maybe_allocate();
   }
   return id;
+}
+
+void NetworkSimulator::cancel_job(int job_id) {
+  CLOUDQC_CHECK(job_id >= 0 &&
+                static_cast<std::size_t>(job_id) < jobs_.size());
+  Job& job = jobs_[static_cast<std::size_t>(job_id)];
+  CLOUDQC_CHECK_MSG(job.circuit != nullptr && !job.done,
+                    "cancel_job on an empty or completed slot");
+  // Drop every pending event of the job; in-flight remote operations
+  // return their communication qubits at cancel time.
+  events_.remove_if([&](const GateDone& done) {
+    if (done.job != job_id) return false;
+    if (done.comm_pairs > 0) {
+      for (const QpuId q : done.reserved_on) release_comm(q, done.comm_pairs);
+      alloc_dirty_ = true;  // released pairs may fund a waiting op
+    }
+    return true;
+  });
+  waiting_remote_.erase(
+      std::remove_if(
+          waiting_remote_.begin(), waiting_remote_.end(),
+          [&](const std::pair<int, int>& w) { return w.first == job_id; }),
+      waiting_remote_.end());
+  jobs_[static_cast<std::size_t>(job_id)] = Job{};
+  jobs_[static_cast<std::size_t>(job_id)].done = true;
+  if (recycle_completed_) free_slots_.push_back(job_id);
+}
+
+bool NetworkSimulator::job_live(int job_id) const {
+  if (job_id < 0 || static_cast<std::size_t>(job_id) >= jobs_.size()) {
+    return false;
+  }
+  const Job& job = jobs_[static_cast<std::size_t>(job_id)];
+  return job.circuit != nullptr && !job.done;
+}
+
+void NetworkSimulator::set_qpu_offline(QpuId q) {
+  CLOUDQC_CHECK(q >= 0 && static_cast<std::size_t>(q) < offline_.size());
+  CLOUDQC_CHECK_MSG(!offline_[static_cast<std::size_t>(q)],
+                    "QPU is already offline");
+  CLOUDQC_CHECK_MSG(router_ == nullptr,
+                    "QPU maintenance is not supported with a router");
+  offline_[static_cast<std::size_t>(q)] = 1;
+  impounded_[static_cast<std::size_t>(q)] +=
+      free_comm_[static_cast<std::size_t>(q)];
+  free_comm_[static_cast<std::size_t>(q)] = 0;
+}
+
+void NetworkSimulator::set_qpu_online(QpuId q) {
+  CLOUDQC_CHECK(q >= 0 && static_cast<std::size_t>(q) < offline_.size());
+  CLOUDQC_CHECK_MSG(offline_[static_cast<std::size_t>(q)],
+                    "QPU is not offline");
+  offline_[static_cast<std::size_t>(q)] = 0;
+  if (impounded_[static_cast<std::size_t>(q)] > 0) {
+    free_comm_[static_cast<std::size_t>(q)] +=
+        impounded_[static_cast<std::size_t>(q)];
+    impounded_[static_cast<std::size_t>(q)] = 0;
+    alloc_dirty_ = true;  // returned pairs may fund a waiting op
+  }
+}
+
+bool NetworkSimulator::qpu_offline(QpuId q) const {
+  CLOUDQC_CHECK(q >= 0 && static_cast<std::size_t>(q) < offline_.size());
+  return offline_[static_cast<std::size_t>(q)] != 0;
+}
+
+void NetworkSimulator::set_calibration_drift(double amplitude,
+                                             double period) {
+  CLOUDQC_CHECK_MSG(amplitude >= 0.0 && amplitude < 1.0,
+                    "drift amplitude must be in [0, 1)");
+  CLOUDQC_CHECK_MSG(amplitude == 0.0 || period > 0.0,
+                    "drift period must be > 0");
+  drift_amplitude_ = amplitude;
+  drift_period_ = period;
+}
+
+void NetworkSimulator::release_comm(QpuId q, int pairs) {
+  if (offline_[static_cast<std::size_t>(q)]) {
+    impounded_[static_cast<std::size_t>(q)] += pairs;
+  } else {
+    free_comm_[static_cast<std::size_t>(q)] += pairs;
+  }
 }
 
 void NetworkSimulator::release_job(int job_id) {
@@ -229,16 +314,33 @@ std::size_t NetworkSimulator::run_allocation_round() {
     // lifts the pair fidelity by the BBPSSW recurrence.
     const int level = cloud_.config().purification_level;
     const int raw_needed = purification::raw_pairs_needed(level);
-    const int rounds =
-        raw_needed == 1
-            ? epr_.rounds_until_success(hops, x, rng_)
-            : epr_.rounds_until_k_successes(hops, x, raw_needed, rng_);
+    const FidelityModel& fid = cloud_.config().fidelity;
+    int rounds;
+    double path_fidelity;
+    if (drift_amplitude_ > 0.0) {
+      // Calibration drift: scale the EPR success probability and the
+      // per-hop link fidelity by the current drift factor. The drifted
+      // model draws exactly as many uniforms as the static one, so the
+      // amplitude-0 branch below stays bit-identical.
+      const double d =
+          calibration_drift_factor(now_, drift_amplitude_, drift_period_);
+      const EprModel drifted(cloud_.config().epr_success_prob * d);
+      rounds = raw_needed == 1
+                   ? drifted.rounds_until_success(hops, x, rng_)
+                   : drifted.rounds_until_k_successes(hops, x, raw_needed,
+                                                      rng_);
+      path_fidelity = std::pow(fid.f_epr * d, hops);
+    } else {
+      rounds = raw_needed == 1
+                   ? epr_.rounds_until_success(hops, x, rng_)
+                   : epr_.rounds_until_k_successes(hops, x, raw_needed, rng_);
+      path_fidelity = fid.epr_path_fidelity(hops);
+    }
     total_epr_rounds_ += static_cast<std::uint64_t>(rounds);
     const double duration =
         rounds * lat.t_epr + lat.remote_gate_overhead();
-    const FidelityModel& fid = cloud_.config().fidelity;
     const double pair_fidelity =
-        purification::purified_fidelity(fid.epr_path_fidelity(hops), level);
+        purification::purified_fidelity(path_fidelity, level);
     job.log_fidelity += std::log(pair_fidelity * fid.f_2q * fid.f_measure *
                                  fid.f_1q);
     events_.push(now_ + duration,
@@ -253,7 +355,7 @@ void NetworkSimulator::finish_gate(const GateDone& done) {
   Job& job = jobs_[static_cast<std::size_t>(done.job)];
   if (done.comm_pairs > 0) {
     for (const QpuId q : done.reserved_on) {
-      free_comm_[static_cast<std::size_t>(q)] += done.comm_pairs;
+      release_comm(q, done.comm_pairs);
     }
     alloc_dirty_ = true;  // released pairs may fund a waiting op
   }

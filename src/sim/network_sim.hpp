@@ -137,6 +137,44 @@ class NetworkSimulator {
   void set_change_gated(bool enabled) { change_gated_ = enabled; }
   bool change_gated() const { return change_gated_; }
 
+  /// Cancel a live job: its pending gate events are dropped, in-flight
+  /// remote operations return their communication qubits, and the slot is
+  /// wiped (and recycled when recycling is on). The job produces no
+  /// completion record; re-admitting it restarts the circuit from
+  /// scratch. Used by the churn layer to displace jobs from a departing
+  /// QPU. Precondition: the slot holds a live job.
+  void cancel_job(int job_id);
+
+  /// True when the slot holds an admitted, not-yet-completed job.
+  bool job_live(int job_id) const;
+
+  /// QPU maintenance fence: impound a QPU's *free* communication qubits
+  /// so no decision point hands them out; operations already holding
+  /// qubits there keep running and their releases flow into the impound
+  /// as they finish. The caller is responsible for displacing jobs placed
+  /// on the QPU first (cancel_job) and for fencing computing capacity in
+  /// the placement layer — the simulator only fences communication
+  /// resources. Not supported together with a router (a path could
+  /// transit the offline QPU); the churn engines run router-free.
+  /// set_qpu_online returns every impounded qubit to the free pool and
+  /// marks a decision point dirty.
+  void set_qpu_offline(QpuId q);
+  void set_qpu_online(QpuId q);
+  bool qpu_offline(QpuId q) const;
+
+  /// Run a decision point now if the resource state changed — the churn
+  /// layer's hook after cancellations and QPU state flips (which do not
+  /// flow through step()).
+  void run_pending_allocation() { maybe_allocate(); }
+
+  /// Sinusoidal calibration drift (cloud/churn.hpp): at each remote-op
+  /// start, the EPR success probability and the per-hop link fidelity
+  /// are scaled by calibration_drift_factor(now(), amplitude, period).
+  /// The drifted path consumes exactly as many RNG draws as the static
+  /// one, so amplitude = 0 (the default) is bit-identical to never
+  /// calling this.
+  void set_calibration_drift(double amplitude, double period);
+
   /// Events processed so far (step() calls) — the events/sec numerator.
   std::uint64_t num_events_processed() const { return events_processed_; }
 
@@ -186,6 +224,9 @@ class NetworkSimulator {
   /// since the last round (always, when change gating is off).
   void maybe_allocate();
   void finish_gate(const GateDone& done);
+  /// Return released communication qubits to the free pool — or into the
+  /// impound while the QPU is offline.
+  void release_comm(QpuId q, int pairs);
   /// Free a completed job's per-job state and queue its slot for reuse.
   void release_job(int job_id);
   double gate_duration(const Job& job, int gate) const;
@@ -205,6 +246,12 @@ class NetworkSimulator {
   std::vector<std::pair<int, int>> waiting_remote_;
   /// Free communication qubits per QPU (simulator-owned view).
   std::vector<int> free_comm_;
+  /// Communication qubits fenced off per offline QPU (maintenance).
+  std::vector<int> impounded_;
+  /// Maintenance state per QPU (1 = offline).
+  std::vector<char> offline_;
+  double drift_amplitude_ = 0.0;
+  double drift_period_ = 0.0;
   SimTime now_ = 0.0;
   std::uint64_t total_epr_rounds_ = 0;
   /// True when comm pairs were released or the waiting set grew since the

@@ -1,0 +1,114 @@
+// Churn-plan expansion (cloud/churn.hpp): window merging, event ordering,
+// deterministic random windows, drift model, and validation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cloud/churn.hpp"
+
+namespace cloudqc {
+namespace {
+
+TEST(ChurnPlan, ExplicitWindowBecomesOfflineOnlinePair) {
+  ChurnSpec spec;
+  spec.windows.push_back({2, 10.0, 50.0});
+  const ChurnPlan plan = build_churn_plan(spec, 4);
+  ASSERT_EQ(plan.events.size(), 2u);
+  EXPECT_EQ(plan.events[0].qpu, 2);
+  EXPECT_DOUBLE_EQ(plan.events[0].time, 10.0);
+  EXPECT_TRUE(plan.events[0].offline);
+  EXPECT_DOUBLE_EQ(plan.events[1].time, 50.0);
+  EXPECT_FALSE(plan.events[1].offline);
+}
+
+TEST(ChurnPlan, OverlappingWindowsMergePerQpu) {
+  ChurnSpec spec;
+  spec.windows.push_back({0, 10.0, 30.0});
+  spec.windows.push_back({0, 20.0, 60.0});  // overlaps the first
+  spec.windows.push_back({0, 60.0, 70.0});  // touches the merged end
+  const ChurnPlan plan = build_churn_plan(spec, 2);
+  // One merged outage [10, 70): edges strictly alternate per QPU.
+  ASSERT_EQ(plan.events.size(), 2u);
+  EXPECT_DOUBLE_EQ(plan.events[0].time, 10.0);
+  EXPECT_TRUE(plan.events[0].offline);
+  EXPECT_DOUBLE_EQ(plan.events[1].time, 70.0);
+  EXPECT_FALSE(plan.events[1].offline);
+}
+
+TEST(ChurnPlan, EventsSortedOnlineBeforeOfflineAtSameInstant) {
+  ChurnSpec spec;
+  spec.windows.push_back({0, 10.0, 40.0});
+  spec.windows.push_back({1, 40.0, 80.0});  // starts as QPU 0 returns
+  const ChurnPlan plan = build_churn_plan(spec, 2);
+  ASSERT_EQ(plan.events.size(), 4u);
+  // At t = 40 the online edge (QPU 0) settles before the offline edge
+  // (QPU 1), so freed capacity is visible before capacity leaves.
+  EXPECT_DOUBLE_EQ(plan.events[1].time, 40.0);
+  EXPECT_FALSE(plan.events[1].offline);
+  EXPECT_EQ(plan.events[1].qpu, 0);
+  EXPECT_DOUBLE_EQ(plan.events[2].time, 40.0);
+  EXPECT_TRUE(plan.events[2].offline);
+  EXPECT_EQ(plan.events[2].qpu, 1);
+}
+
+TEST(ChurnPlan, RandomWindowsAreDeterministicForSeed) {
+  ChurnSpec spec;
+  spec.random_windows = 5;
+  spec.seed = 42;
+  const ChurnPlan a = build_churn_plan(spec, 8);
+  const ChurnPlan b = build_churn_plan(spec, 8);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  EXPECT_FALSE(a.events.empty());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].time, b.events[i].time);
+    EXPECT_EQ(a.events[i].qpu, b.events[i].qpu);
+    EXPECT_EQ(a.events[i].offline, b.events[i].offline);
+  }
+  spec.seed = 43;
+  const ChurnPlan c = build_churn_plan(spec, 8);
+  bool any_differs = a.events.size() != c.events.size();
+  for (std::size_t i = 0; !any_differs && i < a.events.size(); ++i) {
+    any_differs = a.events[i].time != c.events[i].time ||
+                  a.events[i].qpu != c.events[i].qpu;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(ChurnPlan, RejectsInvalidSpecs) {
+  ChurnSpec bad_qpu;
+  bad_qpu.windows.push_back({7, 0.0, 1.0});
+  EXPECT_THROW(build_churn_plan(bad_qpu, 4), std::invalid_argument);
+
+  ChurnSpec inverted;
+  inverted.windows.push_back({0, 5.0, 5.0});
+  EXPECT_THROW(build_churn_plan(inverted, 4), std::invalid_argument);
+
+  ChurnSpec negative_start;
+  negative_start.windows.push_back({0, -1.0, 5.0});
+  EXPECT_THROW(build_churn_plan(negative_start, 4), std::invalid_argument);
+
+  ChurnSpec bad_drift;
+  bad_drift.drift_amplitude = 1.0;
+  EXPECT_THROW(build_churn_plan(bad_drift, 4), std::invalid_argument);
+
+  EXPECT_THROW(build_churn_plan(ChurnSpec{}, 0), std::invalid_argument);
+}
+
+TEST(ChurnDrift, FactorOscillatesBetweenOneAndOneMinusAmplitude) {
+  // amplitude = 0 must return exactly 1.0 (the drift-off engine path
+  // relies on this for bit-identical trajectories).
+  EXPECT_EQ(calibration_drift_factor(123.0, 0.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(calibration_drift_factor(0.0, 0.4, 100.0), 1.0);
+  // Half a period in: the trough, 1 - amplitude.
+  EXPECT_NEAR(calibration_drift_factor(50.0, 0.4, 100.0), 0.6, 1e-12);
+  // Full period: back to 1.
+  EXPECT_NEAR(calibration_drift_factor(100.0, 0.4, 100.0), 1.0, 1e-12);
+  for (double t = 0.0; t < 250.0; t += 7.0) {
+    const double d = calibration_drift_factor(t, 0.4, 100.0);
+    EXPECT_GE(d, 0.6 - 1e-12);
+    EXPECT_LE(d, 1.0 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace cloudqc

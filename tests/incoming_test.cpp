@@ -4,6 +4,7 @@
 
 #include "circuit/generators.hpp"
 #include "circuit/workloads.hpp"
+#include "cloud/churn.hpp"
 #include "core/incoming.hpp"
 #include "graph/topology.hpp"
 #include "test_doubles.hpp"
@@ -207,6 +208,120 @@ TEST(Incoming, AggregateOnlyModeReturnsNoTableSameMetrics) {
 
   EXPECT_TRUE(stats.empty());  // the O(jobs) table was never built
   EXPECT_TRUE(aggregate_only == with_table);  // same run, same fold
+}
+
+TEST(Incoming, AdmissionGateSkipsWakesThatCannotFit) {
+  // Requirement-aware wake rule (ROADMAP 1a): a release only re-attempts
+  // queued jobs whose recorded qubit requirement fits the cloud's total
+  // free computing capacity. On a 2x10 cloud a queued 19-qubit job used
+  // to be re-placed every time a 4-qubit job finished (freeing only 4):
+  // each of those attempts was doomed by arithmetic alone. The annealing
+  // placer fails before touching the RNG when capacity is short, so the
+  // gated run stays bit-identical while doing strictly fewer calls.
+  CloudConfig cfg;
+  cfg.num_qpus = 2;
+  cfg.computing_qubits_per_qpu = 10;
+  cfg.comm_qubits_per_qpu = 5;
+  cfg.epr_success_prob = 1.0;
+
+  std::vector<ArrivingJob> trace;
+  trace.push_back({gen::ghz(16), 0.0});  // fills all but 4 qubits
+  trace.push_back({gen::ghz(19), 1.0});  // queues; needs a near-empty cloud
+  for (int i = 0; i < 4; ++i) {
+    trace.push_back({gen::ghz(4), 2.0 + i});  // churn through the 4 free
+  }
+
+  auto run = [&](bool gated) {
+    QuantumCloud cloud(cfg, ring_topology(2));
+    CountingPlacer placer(make_annealing_placer(300));
+    IncomingOptions options;
+    options.seed = 21;
+    options.gated_admission = gated;
+    options.gated_allocation = gated;
+    auto stats = run_incoming(trace, cloud, placer, *make_cloudqc_allocator(),
+                              options);
+    return std::pair<std::uint64_t, std::vector<IncomingJobStats>>{
+        placer.calls(), std::move(stats)};
+  };
+  const auto [gated_calls, gated_stats] = run(true);
+  const auto [ungated_calls, ungated_stats] = run(false);
+
+  EXPECT_LT(gated_calls, ungated_calls);
+  ASSERT_EQ(gated_stats.size(), ungated_stats.size());
+  for (std::size_t i = 0; i < gated_stats.size(); ++i) {
+    EXPECT_EQ(gated_stats[i].placed_time, ungated_stats[i].placed_time);
+    EXPECT_EQ(gated_stats[i].completion_time,
+              ungated_stats[i].completion_time);
+    EXPECT_EQ(gated_stats[i].est_fidelity, ungated_stats[i].est_fidelity);
+    EXPECT_GT(gated_stats[i].completion_time, 0.0);
+  }
+}
+
+TEST(Incoming, ChurnDisplacedArrivalsRequeueAndComplete) {
+  for (const ChurnPolicy policy :
+       {ChurnPolicy::kRequeue, ChurnPolicy::kMigrate}) {
+    SCOPED_TRACE(policy == ChurnPolicy::kRequeue ? "requeue" : "migrate");
+    QuantumCloud cloud = paper_cloud(2);
+    const int free_before = cloud.total_free_computing();
+    const auto placer = make_cloudqc_placer();
+    const auto alloc = make_cloudqc_allocator();
+
+    std::vector<ArrivingJob> trace;
+    trace.push_back({make_workload("knn_n67"), 0.0});
+    trace.push_back({make_workload("qugan_n71"), 0.0});
+    trace.push_back({make_workload("qft_n63"), 0.0});
+    trace.push_back({make_workload("ising_n66"), 0.0});
+
+    // Half the cloud goes into maintenance just after the first arrivals
+    // are admitted: something in flight must be holding QPUs 0..9.
+    ChurnSpec churn;
+    churn.policy = policy;
+    for (int q = 0; q < 10; ++q) churn.windows.push_back({q, 1.0, 3000.0});
+    const ChurnPlan plan = build_churn_plan(churn, cloud.num_qpus());
+
+    IncomingOptions options;
+    options.seed = 9;
+    options.churn = &plan;
+    const auto stats = run_incoming(trace, cloud, *placer, *alloc, options);
+
+    int restarts = 0;
+    for (const auto& s : stats) {
+      EXPECT_GT(s.completion_time, 0.0);
+      restarts += s.restarts;
+    }
+    EXPECT_GE(restarts, 1);
+    EXPECT_EQ(cloud.total_free_computing(), free_before);
+  }
+}
+
+TEST(Incoming, PreemptEnabledArrivalEvictsLowerPriority) {
+  // A low-priority 250-qubit tenant holds most of the 400-qubit cloud
+  // when a high-priority preempt-enabled 250-qubit job arrives. The
+  // newcomer's placement fails (150 free), so it evicts the strictly
+  // lower-priority holder, which restarts from scratch after it.
+  QuantumCloud cloud = paper_cloud(4);
+  const int free_before = cloud.total_free_computing();
+  const auto placer = make_cloudqc_placer();
+  const auto alloc = make_cloudqc_allocator();
+
+  std::vector<ArrivingJob> trace;
+  trace.push_back({gen::ghz(250), 0.0});
+  trace.push_back({gen::ghz(250), 1.0});
+
+  IncomingOptions options;
+  options.seed = 7;
+  options.gated_admission = false;  // retry (and preempt) at every release
+  options.classes = {JobClass{0, false}, JobClass{2, true}};
+  const auto stats = run_incoming(trace, cloud, *placer, *alloc, options);
+
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_GE(stats[0].restarts, 1);
+  EXPECT_EQ(stats[1].restarts, 0);
+  EXPECT_GT(stats[0].completion_time, 0.0);
+  EXPECT_GT(stats[1].completion_time, 0.0);
+  // The victim finishes after the preemptor that displaced it.
+  EXPECT_GT(stats[0].completion_time, stats[1].completion_time);
+  EXPECT_EQ(cloud.total_free_computing(), free_before);
 }
 
 TEST(Incoming, HigherLoadIncreasesMeanJct) {

@@ -239,8 +239,9 @@ TEST(AdmissionGateTest, SignatureSnapshotSharedAndRefreshed) {
   EXPECT_EQ(gate.signature(), capacity_signature(cloud));
 
   // A failure recorded under the snapshot suppresses retries until some
-  // QPU is strictly richer than the snapshot said.
-  gate.record_failure(0);
+  // QPU is strictly richer than the snapshot said. (The requirement is
+  // small enough that the total-free precheck never suppresses here.)
+  gate.record_failure(0, /*requirement=*/4);
   EXPECT_FALSE(gate.should_attempt(0));
   EXPECT_TRUE(gate.should_attempt(1));  // never failed
 
@@ -262,12 +263,46 @@ TEST(AdmissionGateTest, SignatureSnapshotSharedAndRefreshed) {
   // strictly richer than at the failure, so the retry is due.
   ASSERT_TRUE(cloud.try_reserve(reserve));
   gate.refresh(cloud);
-  gate.record_failure(0);
+  gate.record_failure(0, /*requirement=*/4);
   cloud.release(reserve);
   gate.refresh(cloud);
   EXPECT_TRUE(gate.should_attempt(0));
 
   gate.record_admission(0);
+  EXPECT_TRUE(gate.should_attempt(0));
+}
+
+TEST(AdmissionGateTest, RequirementMustFitTotalFreeBeforeWaking) {
+  // ROADMAP item 1a: a release that leaves total free capacity below a
+  // gated job's requirement must NOT wake it, even when some QPU is
+  // strictly richer than at the recorded failure.
+  QuantumCloud cloud = paper_cloud();
+  AdmissionGate gate(/*num_jobs=*/1, /*enabled=*/true);
+
+  // Drain the cloud down to 2 free qubits on QPU 0, fail a 10-qubit job.
+  std::vector<int> drain(static_cast<std::size_t>(cloud.num_qpus()), 0);
+  for (QpuId q = 0; q < cloud.num_qpus(); ++q) {
+    drain[static_cast<std::size_t>(q)] = cloud.qpu(q).free_computing();
+  }
+  drain[0] -= 2;
+  ASSERT_TRUE(cloud.try_reserve(drain));
+  gate.refresh(cloud);
+  gate.record_failure(0, /*requirement=*/10);
+  EXPECT_FALSE(gate.should_attempt(0));
+
+  // Release 3 more qubits on QPU 1: QPU 1 is strictly richer than at the
+  // failure (the old wake rule would retry), but total free is 5 < 10.
+  std::vector<int> release(static_cast<std::size_t>(cloud.num_qpus()), 0);
+  release[1] = 3;
+  cloud.release(release);
+  gate.refresh(cloud);
+  EXPECT_FALSE(gate.should_attempt(0));
+
+  // Release enough that the total fits: now the richer-QPU rule decides,
+  // and QPU 1 is richer, so the retry is due.
+  release[1] = 5;
+  cloud.release(release);
+  gate.refresh(cloud);
   EXPECT_TRUE(gate.should_attempt(0));
 }
 

@@ -14,6 +14,8 @@
 #include "circuit/workloads.hpp"
 #include "common/check.hpp"
 #include "core/incoming.hpp"
+#include "metrics/quantile_sketch.hpp"
+#include "metrics/stats.hpp"
 #include "core/multi_tenant.hpp"
 #include "core/scenario.hpp"
 #include "core/streaming.hpp"
@@ -405,6 +407,284 @@ TEST(ScenarioTest, GoldenJsonRecordsStreamingAggregates) {
   // The per-job table is empty by design for streaming runs.
   EXPECT_NE(content.str().find("\"jobs\": [\n  ]"), std::string::npos);
   EXPECT_NE(content.str().find("\"num_jobs\": 0"), std::string::npos);
+}
+
+TEST(ScenarioParserTest, ParsesChurnTenantAndSweepSections) {
+  const char* text =
+      "[workload]\n"
+      "circuits = ising_n34, qft_n29\n"
+      "[engine]\n"
+      "mode = multi_tenant\n"
+      "[churn]\n"
+      "policy = migrate\n"
+      "window = 0:10:50\n"
+      "window = 3:100:200\n"
+      "drift_amplitude = 0.2\n"
+      "drift_period = 500\n"
+      "[tenant.gold]\n"
+      "priority = 2\n"
+      "slo_jct = 4000\n"
+      "preempt = true\n"
+      "[tenant.free]\n"
+      "weight = 2.5\n"
+      "[sweep]\n"
+      "engine.seed = 1..3\n"
+      "engine.fifo = true, false\n";
+  const ScenarioSpec spec = parse_scenario(text, "t");
+  EXPECT_EQ(spec.churn.policy, ChurnPolicy::kMigrate);
+  ASSERT_EQ(spec.churn.windows.size(), 2u);
+  EXPECT_EQ(spec.churn.windows[1].qpu, 3);
+  EXPECT_DOUBLE_EQ(spec.churn.windows[1].start, 100.0);
+  EXPECT_DOUBLE_EQ(spec.churn.windows[1].end, 200.0);
+  EXPECT_DOUBLE_EQ(spec.churn.drift_amplitude, 0.2);
+  EXPECT_DOUBLE_EQ(spec.churn.drift_period, 500.0);
+  ASSERT_EQ(spec.tenants.size(), 2u);
+  EXPECT_EQ(spec.tenants[0].name, "gold");
+  EXPECT_EQ(spec.tenants[0].priority, 2);
+  EXPECT_TRUE(spec.tenants[0].preempt);
+  EXPECT_DOUBLE_EQ(spec.tenants[0].slo_jct, 4000.0);
+  EXPECT_EQ(spec.tenants[1].name, "free");
+  EXPECT_DOUBLE_EQ(spec.tenants[1].weight, 2.5);
+  ASSERT_EQ(spec.sweep.size(), 2u);
+  EXPECT_EQ(spec.sweep[0].key, "engine.seed");
+  // Integer ranges expand at parse time, so to_ini round-trips to the
+  // explicit list.
+  EXPECT_EQ(spec.sweep[0].values,
+            (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_EQ(spec.sweep[1].values,
+            (std::vector<std::string>{"true", "false"}));
+
+  const std::string ini = to_ini(spec);
+  EXPECT_EQ(to_ini(parse_scenario(ini, "t")), ini);
+}
+
+TEST(ScenarioParserTest, RejectsInvalidChurnTenantSweep) {
+  const std::string base = "[workload]\ncircuits = ising_n34\n";
+  // Churn and tenants are queue-engine concepts; batch mode has neither a
+  // shared cloud to maintain nor an admission order to prioritise.
+  EXPECT_THROW(parse_scenario(base +
+                              "[engine]\nmode = batch\n"
+                              "[churn]\nwindow = 0:1:2\n"),
+               ScenarioError);
+  EXPECT_THROW(
+      parse_scenario(base + "[engine]\nmode = batch\n[tenant.a]\n"),
+      ScenarioError);
+  // Malformed windows and out-of-range drift.
+  EXPECT_THROW(parse_scenario(base + "[churn]\nwindow = 0:10\n"),
+               ScenarioError);
+  EXPECT_THROW(parse_scenario(base + "[churn]\nwindow = 0:50:10\n"),
+               ScenarioError);
+  EXPECT_THROW(parse_scenario(base +
+                              "[churn]\nwindow = 0:1:2\n"
+                              "drift_amplitude = 1.0\n"),
+               ScenarioError);
+  // Tenant naming and weights.
+  EXPECT_THROW(parse_scenario(base + "[tenant.bad name]\n"), ScenarioError);
+  EXPECT_THROW(parse_scenario(base + "[tenant.]\n"), ScenarioError);
+  EXPECT_THROW(parse_scenario(base + "[tenant.a]\n[tenant.a]\n"),
+               ScenarioError);
+  EXPECT_THROW(parse_scenario(base + "[tenant.a]\nweight = 0\n"),
+               ScenarioError);
+  // Sweep axes: unknown section, duplicate axis, list-valued key, a value
+  // the target key rejects, and an oversized grid.
+  EXPECT_THROW(parse_scenario(base + "[sweep]\nrouting.hops = 1, 2\n"),
+               ScenarioError);
+  EXPECT_THROW(parse_scenario(base +
+                              "[sweep]\nengine.seed = 1\n"
+                              "engine.seed = 2\n"),
+               ScenarioError);
+  EXPECT_THROW(
+      parse_scenario(base + "[sweep]\nworkload.circuits = qft_n29\n"),
+      ScenarioError);
+  EXPECT_THROW(parse_scenario(base + "[sweep]\nengine.mode = warp\n"),
+               ScenarioError);
+  EXPECT_THROW(parse_scenario(base + "[sweep]\nengine.seed = 1..2000\n"),
+               ScenarioError);
+}
+
+// Per-tenant aggregates recomputed from the per-job table by an
+// independent oracle: sketch quantiles, exact means, SLO attainment and
+// Jain's index must all match what run_scenario() reports. The near-zero
+// weight tenant exercises the zero-completion edge.
+TEST(ScenarioTest, TenantAggregatesMatchBruteForceOracle) {
+  const char* text =
+      "[workload]\n"
+      "circuits = ising_n34, qft_n29, multiplier_n45, qft_n63, ising_n66, "
+      "bv_n70, knn_n67, qugan_n71\n"
+      "[engine]\n"
+      "mode = multi_tenant\n"
+      "seed = 11\n"
+      "[tenant.gold]\n"
+      "priority = 1\n"
+      "slo_jct = 1e9\n"
+      "[tenant.bronze]\n"
+      "weight = 2\n"
+      "slo_jct = 1\n"
+      "[tenant.ghost]\n"
+      "weight = 1e-9\n";
+  const ScenarioSpec spec = parse_scenario(text, "oracle");
+  const ScenarioResult result = run_scenario(spec);
+
+  ASSERT_EQ(result.tenants.size(), 3u);
+  ASSERT_EQ(result.jobs.size(), 8u);
+  std::vector<double> mean_jcts;
+  for (std::size_t t = 0; t < result.tenants.size(); ++t) {
+    SCOPED_TRACE(result.tenants[t].name);
+    const ScenarioTenantResult& agg = result.tenants[t];
+    QuantileSketch sketch;
+    std::size_t jobs = 0, completed = 0, within = 0;
+    double total = 0.0;
+    for (const auto& job : result.jobs) {
+      if (job.tenant != static_cast<int>(t)) continue;
+      ++jobs;
+      if (!job.placed) continue;
+      ++completed;
+      const double jct = job.completion_time - job.arrival;
+      total += jct;
+      sketch.add(jct);
+      if (jct <= agg.slo_target) ++within;
+    }
+    EXPECT_EQ(agg.jobs, jobs);
+    EXPECT_EQ(agg.completed, completed);
+    if (completed == 0) {
+      EXPECT_EQ(agg.mean_jct, 0.0);
+      EXPECT_EQ(agg.jct_p95, 0.0);
+      EXPECT_EQ(agg.slo_attainment, 1.0);
+    } else {
+      EXPECT_EQ(agg.mean_jct, total / static_cast<double>(completed));
+      EXPECT_EQ(agg.jct_p50, sketch.quantile(0.5));
+      EXPECT_EQ(agg.jct_p95, sketch.quantile(0.95));
+      EXPECT_EQ(agg.jct_p99, sketch.quantile(0.99));
+      EXPECT_EQ(agg.slo_attainment,
+                static_cast<double>(within) / static_cast<double>(completed));
+      mean_jcts.push_back(agg.mean_jct);
+    }
+  }
+  EXPECT_EQ(result.jain_fairness, jains_index(mean_jcts));
+  // An eight-job draw essentially never lands on a 1e-9 weight: ghost is
+  // the deliberate zero-completion tenant.
+  EXPECT_EQ(result.tenants[2].jobs, 0u);
+  // gold's 1e9 deadline always holds; bronze's 1-unit deadline never does.
+  EXPECT_EQ(result.tenants[0].slo_attainment, 1.0);
+  EXPECT_EQ(result.tenants[1].slo_attainment, 0.0);
+}
+
+// One tenant draws no RNG and applies no reordering: the run must be
+// bit-identical to the tenantless spec, with the tenant block layered on
+// top as pure reporting.
+TEST(ScenarioTest, SingleTenantSpecMatchesTenantlessRun) {
+  ScenarioSpec spec;
+  spec.name = "one_tenant";
+  spec.workload.circuits = {"ising_n34", "qft_n63", "bv_n70"};
+  spec.engine.mode = EngineMode::kMultiTenant;
+  spec.engine.seed = 5;
+  TenantSpec tenant;
+  tenant.name = "solo";
+  tenant.priority = 3;
+  tenant.slo_jct = 1e9;
+  spec.tenants.push_back(tenant);
+  const ScenarioResult with_tenant = run_scenario(spec);
+
+  ScenarioSpec plain = spec;
+  plain.tenants.clear();
+  const ScenarioResult tenantless = run_scenario(plain);
+
+  ASSERT_EQ(with_tenant.jobs.size(), tenantless.jobs.size());
+  for (std::size_t i = 0; i < with_tenant.jobs.size(); ++i) {
+    EXPECT_EQ(with_tenant.jobs[i].placed_time,
+              tenantless.jobs[i].placed_time);
+    EXPECT_EQ(with_tenant.jobs[i].completion_time,
+              tenantless.jobs[i].completion_time);
+    EXPECT_EQ(with_tenant.jobs[i].est_fidelity,
+              tenantless.jobs[i].est_fidelity);
+    EXPECT_EQ(with_tenant.jobs[i].remote_ops, tenantless.jobs[i].remote_ops);
+    EXPECT_EQ(with_tenant.jobs[i].tenant, 0);
+    EXPECT_EQ(tenantless.jobs[i].tenant, -1);
+  }
+  EXPECT_EQ(with_tenant.makespan, tenantless.makespan);
+  EXPECT_EQ(with_tenant.mean_jct, tenantless.mean_jct);
+  EXPECT_EQ(with_tenant.mean_fidelity, tenantless.mean_fidelity);
+  EXPECT_EQ(with_tenant.placement_calls, tenantless.placement_calls);
+  ASSERT_EQ(with_tenant.tenants.size(), 1u);
+  EXPECT_EQ(with_tenant.tenants[0].jobs, with_tenant.jobs.size());
+  EXPECT_EQ(with_tenant.jain_fairness, 1.0);
+  EXPECT_TRUE(tenantless.tenants.empty());
+}
+
+TEST(ScenarioTest, ExpandSweepIsRowMajorFirstAxisSlowest) {
+  ScenarioSpec spec;
+  spec.workload.circuits = {"ising_n34"};
+  spec.engine.mode = EngineMode::kMultiTenant;
+  spec.sweep.push_back({"engine.seed", {"1", "2"}});
+  spec.sweep.push_back({"engine.fifo", {"false", "true"}});
+  const auto points = expand_sweep(spec);
+  ASSERT_EQ(points.size(), 4u);
+  const std::uint64_t seeds[] = {1, 1, 2, 2};
+  const bool fifos[] = {false, true, false, true};
+  for (std::size_t i = 0; i < 4; ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(points[i].spec.engine.seed, seeds[i]);
+    EXPECT_EQ(points[i].spec.engine.fifo, fifos[i]);
+    EXPECT_TRUE(points[i].spec.sweep.empty());
+    ASSERT_EQ(points[i].assignment.size(), 2u);
+    EXPECT_EQ(points[i].assignment[0].first, "engine.seed");
+    EXPECT_EQ(points[i].assignment[0].second, std::to_string(seeds[i]));
+    EXPECT_EQ(points[i].assignment[1].second, fifos[i] ? "true" : "false");
+  }
+}
+
+// A sweep of exactly one point is the plain run, field for field.
+TEST(ScenarioTest, SweepOfOneEqualsPlainRunScenario) {
+  ScenarioSpec spec;
+  spec.name = "sweep1";
+  spec.workload.circuits = {"ising_n34", "qft_n29"};
+  spec.engine.mode = EngineMode::kMultiTenant;
+  spec.engine.seed = 3;
+  spec.sweep.push_back({"engine.fifo", {"true"}});
+  const SweepResult sweep = run_sweep(spec);
+  ASSERT_EQ(sweep.points.size(), 1u);
+  ASSERT_EQ(sweep.points[0].assignment.size(), 1u);
+  EXPECT_EQ(sweep.points[0].assignment[0].first, "engine.fifo");
+  EXPECT_EQ(sweep.points[0].assignment[0].second, "true");
+
+  ScenarioSpec plain = spec;
+  plain.sweep.clear();
+  plain.engine.fifo = true;
+  const ScenarioResult direct = run_scenario(plain);
+  const ScenarioResult& point = sweep.points[0].result;
+  ASSERT_EQ(point.jobs.size(), direct.jobs.size());
+  for (std::size_t i = 0; i < point.jobs.size(); ++i) {
+    EXPECT_EQ(point.jobs[i].completion_time, direct.jobs[i].completion_time);
+    EXPECT_EQ(point.jobs[i].est_fidelity, direct.jobs[i].est_fidelity);
+  }
+  EXPECT_EQ(point.makespan, direct.makespan);
+  EXPECT_EQ(point.mean_jct, direct.mean_jct);
+  EXPECT_EQ(point.mean_fidelity, direct.mean_fidelity);
+  EXPECT_EQ(point.placement_calls, direct.placement_calls);
+}
+
+// End-to-end churn through the spec layer: maintenance over half the
+// paper cloud displaces in-flight work, everything still completes, and
+// the restarts are visible in the per-job table.
+TEST(ScenarioTest, ChurnSpecDisplacesJobsAndStillCompletes) {
+  ScenarioSpec spec;
+  spec.name = "churny";
+  spec.workload.circuits = {"knn_n67", "qugan_n71", "qft_n63", "ising_n66",
+                            "bv_n70", "ghz_n127"};
+  spec.engine.mode = EngineMode::kMultiTenant;
+  spec.engine.seed = 9;
+  for (int q = 0; q < 10; ++q) {
+    spec.churn.windows.push_back({q, 1.0, 2000.0});
+  }
+  const ScenarioResult result = run_scenario(spec);
+  ASSERT_EQ(result.jobs.size(), 6u);
+  int restarts = 0;
+  for (const auto& job : result.jobs) {
+    EXPECT_TRUE(job.placed);
+    EXPECT_GT(job.completion_time, 0.0);
+    restarts += job.restarts;
+  }
+  EXPECT_GE(restarts, 1);
 }
 
 }  // namespace
