@@ -39,8 +39,11 @@ int main(int argc, char** argv) {
                    "wall ms"});
   for (const auto& placer : placers) {
     Rng rng(1234);
+    // det-lint: allow(wall-clock) the example prints wall ms per placer;
+    // nothing downstream consumes it.
     const auto t0 = std::chrono::steady_clock::now();
     const auto placement = placer->place(circuit, cloud, rng);
+    // det-lint: allow(wall-clock) same timing display as t0.
     const auto t1 = std::chrono::steady_clock::now();
     const double ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();

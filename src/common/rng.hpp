@@ -121,6 +121,8 @@ class Rng {
   }
 
   /// Derive an independent child stream (e.g. one per simulation run).
+  // det-lint: allow(raw-rng) fork() IS the seed-derivation primitive: the
+  // child seed is drawn from the parent's (already seeded) stream.
   Rng fork() { return Rng((*this)() ^ 0xA5A5A5A55A5A5A5Aull); }
 
  private:

@@ -10,6 +10,11 @@
 //   3. Simplicity: one mutex + condition variable. The workloads this pool
 //      runs (placement searches, network simulations) are milliseconds to
 //      seconds each, so queue contention is irrelevant.
+//
+// Race-freedom is verified, not assumed: the tsan CI job runs the
+// unit+integration test labels under ThreadSanitizer (-DCLOUDQC_TSAN=ON),
+// so every cross-thread handoff here must happen-before through the queue
+// mutex or a future — no lock-free cleverness without a matching tsan run.
 #pragma once
 
 #include <condition_variable>

@@ -8,6 +8,12 @@
 // job simulation runs against a private QuantumCloud copy), so for a fixed
 // seed the merged results are bit-identical to a serial run regardless of
 // the worker count or thread scheduling.
+//
+// Two gates enforce the contract mechanically: tools/determinism_lint
+// rejects raw randomness / wall-clock reads / unordered-container
+// iteration in task code, and the tsan CI job re-runs the
+// unit+integration suites under ThreadSanitizer to prove the "reads only
+// const shared state" claim instead of trusting it.
 #pragma once
 
 #include <cstdint>

@@ -1036,6 +1036,8 @@ std::string to_ini(const ScenarioSpec& spec) {
 
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
   validate(spec);
+  // det-lint: allow(wall-clock) wall_seconds is reported for operators and
+  // excluded from golden output; no engine decision reads it.
   const auto start = std::chrono::steady_clock::now();
 
   ScenarioResult result;
@@ -1219,6 +1221,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   finalize_metrics(result);
   finalize_tenant_metrics(spec.tenants, result);
   result.wall_seconds =
+      // det-lint: allow(wall-clock) reporting-only; goldens exclude it.
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   return result;
@@ -1398,6 +1401,8 @@ std::vector<SweepPointSpec> expand_sweep(const ScenarioSpec& spec) {
 }
 
 SweepResult run_sweep(const ScenarioSpec& spec) {
+  // det-lint: allow(wall-clock) wall_seconds is reporting-only, excluded
+  // from golden output; no sweep decision reads it.
   const auto start = std::chrono::steady_clock::now();
   std::vector<SweepPointSpec> points = expand_sweep(spec);
   SweepResult result;
@@ -1411,6 +1416,7 @@ SweepResult run_sweep(const ScenarioSpec& spec) {
     result.points[i].result = run_scenario(points[i].spec);
   });
   result.wall_seconds =
+      // det-lint: allow(wall-clock) reporting-only; goldens exclude it.
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   return result;

@@ -1,0 +1,13 @@
+// Fixture: no findings. Mentions of hazards in comments ("rand()",
+// "steady_clock::now") and strings must not fire, and ordered containers
+// may be iterated freely.
+#include <map>
+#include <string>
+
+const char* kDoc = "never call rand() or steady_clock::now here";
+
+int sum(const std::map<std::string, int>& counts) {
+  int total = 0;
+  for (const auto& entry : counts) total += entry.second;
+  return total;
+}

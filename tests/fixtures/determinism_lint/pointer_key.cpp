@@ -1,0 +1,17 @@
+// Fixture: exactly one pointer-key finding (the std::map keyed by a raw
+// pointer). The value-typed map and the pointer *value* type must not fire.
+#include <map>
+#include <string>
+
+struct Node {
+  int id = 0;
+};
+
+int count(Node* a, Node* b) {
+  std::map<Node*, int> by_address;  // finding: address-ordered iteration
+  std::map<int, Node*> by_id;       // fine: pointer is the value, not key
+  by_address[a] = 1;
+  by_address[b] = 2;
+  by_id[0] = a;
+  return static_cast<int>(by_address.size() + by_id.size());
+}

@@ -1,0 +1,6 @@
+// Fixture: exactly one raw-rand finding.
+#include <cstdlib>
+
+int draw() {
+  return std::rand();  // finding: global, non-replayable randomness
+}

@@ -1,0 +1,15 @@
+// Fixture: exactly one raw-rng finding (the std::mt19937). This file is
+// outside src/, so a literal-seeded Rng is the entry-point idiom and fine.
+#include <cstdint>
+#include <random>
+
+struct Rng {
+  explicit Rng(std::uint64_t seed) : state(seed) {}
+  std::uint64_t state;
+};
+
+std::uint64_t draw() {
+  std::mt19937 engine(42);  // finding: bypasses Rng/stream_seed
+  Rng rng(42);              // fine outside library code
+  return engine() + rng.state;
+}

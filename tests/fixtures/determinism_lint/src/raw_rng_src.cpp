@@ -1,0 +1,19 @@
+// Fixture: exactly one raw-rng finding. This file lives under a `src/`
+// path segment, so the library-code rule applies: an Rng seeded from a
+// magic number is flagged, one derived from a caller seed is not.
+#include <cstdint>
+
+struct Rng {
+  explicit Rng(std::uint64_t seed) : state(seed) {}
+  std::uint64_t state;
+};
+
+constexpr std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t s) {
+  return seed ^ (s * 0x9E3779B97F4A7C15ull);
+}
+
+std::uint64_t run(std::uint64_t caller_seed) {
+  Rng good(stream_seed(caller_seed, 1));  // fine: derives from caller seed
+  Rng bad(12345);                         // finding: invents its own stream
+  return good.state + bad.state;
+}

@@ -1,0 +1,17 @@
+// Fixture: every violation carries a det-lint allow comment — trailing,
+// preceding, and multi-line preceding styles — so the file yields zero
+// unsuppressed findings and exactly three suppressed ones.
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+double covered() {
+  int r = std::rand();  // det-lint: allow(raw-rand) fixture trailing style
+  // det-lint: allow(thread-sleep) fixture preceding style
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  // det-lint: allow(wall-clock) fixture multi-line preceding style: the
+  // justification continues on a second comment line before the code.
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<double>(r) +
+         static_cast<double>(now.time_since_epoch().count());
+}

@@ -1,0 +1,7 @@
+// Fixture: exactly one thread-sleep finding.
+#include <chrono>
+#include <thread>
+
+void wait_a_bit() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // finding
+}

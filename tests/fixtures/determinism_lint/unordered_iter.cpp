@@ -1,0 +1,16 @@
+// Fixture: exactly one unordered-iter finding (the range-for). The lookup
+// below must NOT fire — probing an unordered container is deterministic,
+// only iteration order is not.
+#include <string>
+#include <unordered_map>
+
+int sum_values(const std::unordered_map<std::string, int>& unused) {
+  std::unordered_map<std::string, int> counts;
+  counts.emplace("a", 1);
+  int total = 0;
+  for (const auto& entry : counts) {  // finding: bucket-order fold
+    total += entry.second;
+  }
+  auto it = counts.find("a");  // fine: probe, not iteration
+  return it == counts.end() ? total : total + it->second;
+}

@@ -1,0 +1,15 @@
+// Fixture: exactly one wall-clock finding. The identifier soup below must
+// not fire: `timer.time()` is a member call and `total_time` / `runtime`
+// merely contain the substring.
+#include <chrono>
+
+struct Timer {
+  double time() const { return 0.0; }
+};
+
+double sample() {
+  Timer timer;
+  double total_time = timer.time();
+  const auto now = std::chrono::steady_clock::now();  // finding
+  return total_time + static_cast<double>(now.time_since_epoch().count());
+}

@@ -51,6 +51,8 @@ TEST(ThreadPool, DestructorDrainsQueuedTasks) {
     ThreadPool pool(1);
     for (int i = 0; i < 50; ++i) {
       pool.submit([&counter] {
+        // det-lint: allow(thread-sleep) widens the destructor/worker race
+        // window under test; the assertion is order-independent.
         std::this_thread::sleep_for(std::chrono::microseconds(100));
         ++counter;
       });
@@ -113,6 +115,8 @@ TEST(ThreadPool, ParallelForUsesMultipleWorkers) {
   std::mutex mutex;
   std::set<std::thread::id> seen;
   pool.parallel_for(64, [&](std::size_t) {
+    // det-lint: allow(thread-sleep) holds each task long enough that more
+    // than one worker must participate; only thread *count* is asserted.
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
     std::lock_guard<std::mutex> lock(mutex);
     seen.insert(std::this_thread::get_id());
