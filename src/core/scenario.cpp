@@ -30,6 +30,7 @@
 #include "placement/placement.hpp"
 #include "placement/placement_cache.hpp"
 #include "schedule/allocators.hpp"
+#include "schedule/frontier_router.hpp"
 #include "schedule/routing.hpp"
 #include "sim/network_sim.hpp"
 
@@ -74,6 +75,8 @@ constexpr EnumName<RouterKind> kRouterNames[] = {
     {RouterKind::kNone, "none"},
     {RouterKind::kShortest, "shortest"},
     {RouterKind::kCongestion, "congestion"},
+    {RouterKind::kMasked, "masked"},
+    {RouterKind::kFrontier, "frontier"},
 };
 constexpr EnumName<ChurnPolicy> kChurnPolicyNames[] = {
     {ChurnPolicy::kRequeue, "requeue"},
@@ -645,6 +648,10 @@ std::unique_ptr<EprRouter> make_router(RouterKind kind) {
       return make_shortest_path_router();
     case RouterKind::kCongestion:
       return make_congestion_aware_router();
+    case RouterKind::kMasked:
+      return make_masked_shortest_router();
+    case RouterKind::kFrontier:
+      return make_frontier_router();
   }
   throw ScenarioError("unknown router kind");
 }

@@ -136,6 +136,67 @@ class CongestionAwareRouter final : public EprRouter {
   int max_extra_hops_;
 };
 
+// The canonical masked-shortest-path policy, computed fresh per call with
+// a level-synchronous BFS. Deliberately the *simple* implementation: no
+// CSR, no bitmaps, no caching — a dozen lines whose correctness is easy to
+// audit, so the differential tests can hold the batched FrontierRouter to
+// it result-for-result. The tie-break contract both must satisfy:
+//
+//   * levels are processed synchronously; within a level the frontier is
+//     iterated in ascending node id, and each node expands its neighbours
+//     in ascending id — so every claimed node's parent is its
+//     lowest-indexed neighbour in the previous level;
+//   * a saturated node (free_comm <= 0, other than src) is *claimable*
+//     (it can terminate a path: destinations are endpoint-exempt) but
+//     never *expandable* (it never enters the frontier, so no path
+//     transits it).
+class MaskedShortestRouter final : public EprRouter {
+ public:
+  std::string name() const override { return "masked-shortest"; }
+
+  std::optional<EprPath> route(const QuantumCloud& cloud, QpuId src, QpuId dst,
+                               const std::vector<int>& free_comm)
+      const override {
+    CLOUDQC_CHECK(src != dst);
+    const Graph& topo = cloud.topology();
+    const auto n = static_cast<std::size_t>(topo.num_nodes());
+    CLOUDQC_CHECK(free_comm.size() == n);
+
+    std::vector<NodeId> parent(n, kInvalidNode);
+    std::vector<char> claimed(n, 0);
+    std::vector<NodeId> frontier{src};
+    std::vector<NodeId> next;
+    claimed[static_cast<std::size_t>(src)] = 1;
+    while (!frontier.empty() && !claimed[static_cast<std::size_t>(dst)]) {
+      next.clear();
+      for (const NodeId u : frontier) {
+        std::vector<NodeId> nbrs;
+        for (const auto& e : topo.neighbors(u)) nbrs.push_back(e.to);
+        std::sort(nbrs.begin(), nbrs.end());
+        for (const NodeId v : nbrs) {
+          if (claimed[static_cast<std::size_t>(v)]) continue;
+          claimed[static_cast<std::size_t>(v)] = 1;
+          parent[static_cast<std::size_t>(v)] = u;
+          if (free_comm[static_cast<std::size_t>(v)] > 0) next.push_back(v);
+        }
+      }
+      // Claims above arrive in (frontier-rank, neighbour-id) order, which
+      // is not globally ascending past level 1 — restore the invariant.
+      std::sort(next.begin(), next.end());
+      frontier.swap(next);
+    }
+    if (!claimed[static_cast<std::size_t>(dst)]) return std::nullopt;
+    EprPath path;
+    for (NodeId at = dst; at != kInvalidNode;
+         at = parent[static_cast<std::size_t>(at)]) {
+      path.nodes.push_back(at);
+    }
+    std::reverse(path.nodes.begin(), path.nodes.end());
+    CLOUDQC_DCHECK(path.nodes.front() == src);
+    return path;
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<EprRouter> make_shortest_path_router() {
@@ -144,6 +205,10 @@ std::unique_ptr<EprRouter> make_shortest_path_router() {
 
 std::unique_ptr<EprRouter> make_congestion_aware_router(int max_extra_hops) {
   return std::make_unique<CongestionAwareRouter>(max_extra_hops);
+}
+
+std::unique_ptr<EprRouter> make_masked_shortest_router() {
+  return std::make_unique<MaskedShortestRouter>();
 }
 
 std::vector<EprPath> k_shortest_paths(const Graph& topology, QpuId src,

@@ -263,6 +263,16 @@ std::size_t NetworkSimulator::run_allocation_round() {
   std::vector<std::pair<int, int>> still_waiting;
   std::size_t started = 0;
   const LatencyModel& lat = cloud_.config().latency;
+#ifndef NDEBUG
+  // Grant conservation (the PR 3 fixed-point rule, asserted for every
+  // router implementation — per-op and frontier alike): an op the
+  // allocator funded but the router path-blocked (nullopt, or capped to
+  // x <= 0 by a saturated reserved node) must return its *full* grant for
+  // redistribution. Equivalently, the only qubits leaving the pool this
+  // round are those reserved by ops that actually started.
+  const std::vector<int> free_before = free_comm_;
+  std::vector<int> started_spend(free_comm_.size(), 0);
+#endif
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     const auto [job_id, gate] = waiting_remote_[i];
     if (pairs[i] == 0) {
@@ -309,6 +319,9 @@ std::size_t NetworkSimulator::run_allocation_round() {
     for (const QpuId q : reserved_on) {
       free_comm_[static_cast<std::size_t>(q)] -= x;
       CLOUDQC_DCHECK(free_comm_[static_cast<std::size_t>(q)] >= 0);
+#ifndef NDEBUG
+      started_spend[static_cast<std::size_t>(q)] += x;
+#endif
     }
     // Purification: each delivered pair costs 2^level raw successes and
     // lifts the pair fidelity by the BBPSSW recurrence.
@@ -347,6 +360,12 @@ std::size_t NetworkSimulator::run_allocation_round() {
                  GateDone{job_id, gate, x, std::move(reserved_on)});
     ++started;
   }
+#ifndef NDEBUG
+  for (std::size_t q = 0; q < free_comm_.size(); ++q) {
+    CLOUDQC_CHECK_MSG(free_comm_[q] == free_before[q] - started_spend[q],
+                      "requeued op did not return its full grant");
+  }
+#endif
   waiting_remote_ = std::move(still_waiting);
   return started;
 }

@@ -216,7 +216,10 @@ class NetworkSimulator {
   /// on the residual budget provably starts nothing); with a router,
   /// rounds repeat until a fixed point because a funded op can be blocked
   /// by a saturated path without consuming its grant, leaving budget the
-  /// next round may redistribute.
+  /// next round may redistribute. The grant-conservation half of that
+  /// rule — a path-blocked op returns its *full* grant, nothing is
+  /// deducted — is asserted per round in debug builds, for every router
+  /// implementation (the cached frontier router included).
   void allocate_and_start();
   /// One allocator round; returns the number of operations started.
   std::size_t run_allocation_round();

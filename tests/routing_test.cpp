@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <set>
+#include <utility>
+#include <vector>
 
+#include "common/env.hpp"
 #include "graph/topology.hpp"
+#include "schedule/frontier_router.hpp"
 #include "schedule/routing.hpp"
 #include "sim/network_sim.hpp"
 
@@ -180,6 +185,123 @@ TEST(RoutedSimulation, DeterministicForSeed) {
 TEST(Routers, Names) {
   EXPECT_EQ(make_shortest_path_router()->name(), "shortest-path");
   EXPECT_EQ(make_congestion_aware_router()->name(), "congestion-aware");
+  EXPECT_EQ(make_masked_shortest_router()->name(), "masked-shortest");
+  EXPECT_EQ(make_frontier_router()->name(), "frontier");
+}
+
+// ---------------------------------------------------------------------------
+// Property/fuzz harness for the masked-shortest-path policy: random
+// connected topologies × random pending-op batches, with per-node budgets
+// spent along each granted path so the saturation mask evolves *within*
+// a batch (the frontier router's cached trees must track it). Iteration
+// count: CLOUDQC_PROPERTY_ITERS (default 12; the sanitizer CI job runs a
+// reduced count under ASan/UBSan).
+// ---------------------------------------------------------------------------
+
+namespace property {
+
+int iters() {
+  return static_cast<int>(env_int_or("CLOUDQC_PROPERTY_ITERS", 12));
+}
+
+/// One fuzz round: route a random op batch through `router`, checking
+/// every invariant the routing contract promises, draining budgets as
+/// grants land. Returns the paths (nullopt included) for cross-router and
+/// rerun comparisons.
+std::vector<std::optional<EprPath>> run_batch(const EprRouter& router,
+                                              const QuantumCloud& cloud,
+                                              std::uint64_t seed) {
+  Rng rng(seed);
+  const NodeId n = cloud.topology().num_nodes();
+  std::vector<int> free_comm(static_cast<std::size_t>(n), 0);
+  for (auto& f : free_comm) f = static_cast<int>(rng.below(4));  // 0..3
+
+  const int batch = 8 + static_cast<int>(rng.below(17));  // 8..24 ops
+  std::vector<std::optional<EprPath>> out;
+  for (int op = 0; op < batch; ++op) {
+    const auto src = static_cast<QpuId>(rng.below(static_cast<std::uint64_t>(n)));
+    auto dst = static_cast<QpuId>(rng.below(static_cast<std::uint64_t>(n - 1)));
+    if (dst >= src) ++dst;
+    const std::vector<int> before = free_comm;
+    const auto path = router.route(cloud, src, dst, free_comm);
+    EXPECT_EQ(free_comm, before);  // route() must not mutate its inputs
+    if (path.has_value()) {
+      // Connected, endpoint-correct, loop-free.
+      EXPECT_GE(path->nodes.size(), 2u);
+      if (path->nodes.size() < 2) {
+        out.push_back(path);
+        continue;
+      }
+      EXPECT_EQ(path->nodes.front(), src);
+      EXPECT_EQ(path->nodes.back(), dst);
+      std::set<QpuId> uniq(path->nodes.begin(), path->nodes.end());
+      EXPECT_EQ(uniq.size(), path->nodes.size());
+      for (std::size_t j = 0; j + 1 < path->nodes.size(); ++j) {
+        EXPECT_TRUE(
+            cloud.topology().has_edge(path->nodes[j], path->nodes[j + 1]))
+            << "hop " << path->nodes[j] << "→" << path->nodes[j + 1];
+      }
+      // Never transits a saturated (masked) node: every intermediate has
+      // budget for the swap it would host.
+      for (std::size_t j = 1; j + 1 < path->nodes.size(); ++j) {
+        EXPECT_GT(free_comm[static_cast<std::size_t>(path->nodes[j])], 0)
+            << "path transits saturated QPU " << path->nodes[j];
+      }
+      // Spend one pair on every path node (the simulator's reservation),
+      // clamped at zero for endpoints that were already dry — so the
+      // mask the next op sees reflects this grant.
+      for (const QpuId q : path->nodes) {
+        auto& f = free_comm[static_cast<std::size_t>(q)];
+        if (f > 0) --f;
+      }
+    }
+    out.push_back(path);
+  }
+  return out;
+}
+
+}  // namespace property
+
+TEST(MaskedRoutingProperty, RandomTopologiesRandomBatches) {
+  for (int iter = 0; iter < property::iters(); ++iter) {
+    SCOPED_TRACE("iter " + std::to_string(iter));
+    const std::uint64_t seed = stream_seed(0xF0117E6, static_cast<std::uint64_t>(iter));
+    Rng topo_rng(seed);
+    const auto n = static_cast<NodeId>(6 + topo_rng.below(20));
+    const double edge_prob = 0.12 + topo_rng.uniform() * 0.4;
+    Graph topo = random_topology(n, edge_prob, topo_rng);
+    CloudConfig cfg;
+    cfg.num_qpus = static_cast<int>(n);
+    cfg.computing_qubits_per_qpu = 50;
+    cfg.comm_qubits_per_qpu = 3;
+    const QuantumCloud cloud(cfg, std::move(topo));
+
+    // Differential: the batched router and the per-op reference must
+    // produce the identical path (or identical nullopt) for every op.
+    const FrontierRouter frontier;
+    const auto reference = make_masked_shortest_router();
+    const auto got = property::run_batch(frontier, cloud, seed);
+    const auto want = property::run_batch(*reference, cloud, seed);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].has_value(), want[i].has_value()) << "op " << i;
+      if (got[i].has_value()) {
+        EXPECT_EQ(got[i]->nodes, want[i]->nodes) << "op " << i;
+      }
+    }
+
+    // Rerun bit-identically per seed, on a fresh router instance (no
+    // hidden state may leak into the answers).
+    const FrontierRouter fresh;
+    const auto again = property::run_batch(fresh, cloud, seed);
+    ASSERT_EQ(again.size(), got.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(again[i].has_value(), got[i].has_value()) << "op " << i;
+      if (got[i].has_value()) {
+        EXPECT_EQ(again[i]->nodes, got[i]->nodes) << "op " << i;
+      }
+    }
+  }
 }
 
 }  // namespace

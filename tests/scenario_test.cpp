@@ -103,6 +103,38 @@ TEST(ScenarioParserTest, RejectsInconsistentSpecs) {
       ScenarioError);
 }
 
+TEST(ScenarioParserTest, RouterKindsRoundTrip) {
+  // Every router name parses under the network-sim engine and survives the
+  // emit/reparse cycle — including the routed-engine pair "masked" and
+  // "frontier" (same policy, per-op vs batched implementation).
+  const std::pair<const char*, RouterKind> kinds[] = {
+      {"none", RouterKind::kNone},
+      {"shortest", RouterKind::kShortest},
+      {"congestion", RouterKind::kCongestion},
+      {"masked", RouterKind::kMasked},
+      {"frontier", RouterKind::kFrontier},
+  };
+  for (const auto& [name, kind] : kinds) {
+    const std::string text = std::string("[workload]\ncircuits = ising_n34\n") +
+                             "[engine]\nmode = network_sim\nrouter = " + name +
+                             "\n";
+    const ScenarioSpec spec = parse_scenario(text, "r");
+    EXPECT_EQ(spec.engine.router, kind) << name;
+    const std::string ini = to_ini(spec);
+    EXPECT_NE(ini.find(std::string("router = ") + name), std::string::npos)
+        << ini;
+    EXPECT_EQ(parse_scenario(ini, "r").engine.router, kind) << name;
+  }
+  // The new kinds are as loud as the old ones outside network_sim.
+  for (const char* mode : {"batch", "multi_tenant", "streaming"}) {
+    EXPECT_THROW(parse_scenario(std::string("[workload]\ncircuits = "
+                                            "ising_n34\n[engine]\nmode = ") +
+                                mode + "\nrouter = frontier\n"),
+                 ScenarioError)
+        << mode;
+  }
+}
+
 TEST(ScenarioParserTest, ParsesStreamingEngineKeys) {
   const char* text =
       "[workload]\n"
